@@ -1,0 +1,71 @@
+"""A5 — ablation: three generations of 2D decomposition.
+
+§1 of the paper dismisses prior 2D schemes ("do not involve explicit effort
+towards reducing communication volume").  This bench quantifies the claim
+on a skewed LP matrix:
+
+* **checkerboard** (Hendrickson et al. / Lewis & van de Geijn) — oblivious
+  cartesian stripes, minimal message counts, no volume optimization;
+* **jagged** — orthogonal recursive splits, each phase volume-minimizing;
+* **mondriaan** — recursive best-direction splitting (the fine-grain
+  model's best-known descendant);
+* **fine-grain** (the paper) — per-nonzero freedom, exact volume objective.
+
+Expected shape: the volume-optimizing methods beat the oblivious
+checkerboard on skewed sparse structure, while message counts rank the
+other way round.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SCALE, report
+from repro.core.api import decompose_2d_finegrain
+from repro.matrix import load_collection_matrix
+from repro.models import (
+    decompose_2d_checkerboard,
+    decompose_2d_jagged,
+    decompose_2d_mondriaan,
+)
+from repro.spmv import communication_stats
+
+MATRIX = "finan512"
+K = 16
+
+_results: dict[str, tuple[int, float, float]] = {}
+
+_METHODS = {
+    "checkerboard": lambda a: decompose_2d_checkerboard(a, K),
+    "jagged": lambda a: decompose_2d_jagged(a, K, seed=0),
+    "mondriaan": lambda a: decompose_2d_mondriaan(a, K, seed=0),
+    "finegrain": lambda a: decompose_2d_finegrain(a, K, seed=0)[0],
+}
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    a = load_collection_matrix(MATRIX, scale=min(SCALE, 0.1), seed=0)
+    yield a
+    if set(_results) == set(_METHODS):
+        lines = [f"\nABLATION A5 — 2D decomposition methods ({MATRIX}, K={K}):"]
+        # fine-grain and mondriaan must beat the oblivious baseline
+        for name, (vol, msgs, imb) in _results.items():
+            lines.append(
+                f"  {name:>12}: volume={vol:6d}  avg#msgs={msgs:6.2f}  "
+                f"load imbalance={100 * imb:6.2f}%"
+            )
+        report("\n".join(lines))
+        assert _results["finegrain"][0] <= _results["checkerboard"][0]
+
+
+@pytest.mark.parametrize("method", list(_METHODS))
+def test_2d_method(benchmark, matrix, method):
+    dec = benchmark.pedantic(_METHODS[method], args=(matrix,), rounds=1, iterations=1)
+    stats = communication_stats(dec)
+    _results[method] = (
+        stats.total_volume,
+        stats.avg_messages,
+        stats.load_imbalance,
+    )
+    assert dec.is_symmetric()

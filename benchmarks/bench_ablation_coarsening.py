@@ -1,0 +1,46 @@
+"""A1 — ablation: coarsening scheme (HCC vs HCM vs none).
+
+DESIGN.md calls out the agglomerative-vs-matching choice: HCC absorbs
+star-like structures (dense matrix rows/columns) that pairwise HCM leaves
+fragmented, and disabling coarsening altogether exposes how much the
+multilevel framework buys over flat FM.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SCALE, report
+from repro.core import build_finegrain_model
+from repro.matrix import load_collection_matrix
+from repro.partitioner import PartitionerConfig, partition_hypergraph
+
+MATRIX = "ken-11"
+K = 16
+
+_results: dict[str, tuple[int, float]] = {}
+
+
+@pytest.fixture(scope="module")
+def hypergraph():
+    a = load_collection_matrix(MATRIX, scale=min(SCALE, 0.1), seed=0)
+    yield build_finegrain_model(a).hypergraph
+    if set(_results) == {"hcc", "hcm", "none"}:
+        lines = [f"\nABLATION A1 — coarsening ({MATRIX}, K={K}):"]
+        for scheme, (cut, t) in _results.items():
+            lines.append(f"  {scheme:>5}: cutsize={cut:6d}  time={t:6.2f}s")
+        report("\n".join(lines))
+        # multilevel coarsening must clearly beat flat FM on cutsize
+        assert _results["hcc"][0] < _results["none"][0]
+
+
+@pytest.mark.parametrize("matching", ["hcc", "hcm", "none"])
+def test_coarsening_scheme(benchmark, hypergraph, matching):
+    cfg = PartitionerConfig(matching=matching)
+
+    def run():
+        return partition_hypergraph(hypergraph, K, config=cfg, seed=0)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results[matching] = (res.cutsize, res.runtime)
+    assert res.imbalance <= 0.10

@@ -1,0 +1,52 @@
+"""A3 — ablation: imbalance tolerance vs communication volume.
+
+Eq. 1's epsilon trades load balance for cut quality: a looser bound gives
+the partitioner more freedom, so the cutsize (= communication volume) is
+non-increasing in expectation as epsilon grows.  The paper fixes eps = 3%;
+this sweep shows what that choice costs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SCALE, report
+from repro.core import build_finegrain_model
+from repro.matrix import load_collection_matrix
+from repro.partitioner import PartitionerConfig, partition_hypergraph
+
+MATRIX = "nl"
+K = 16
+EPSILONS = [0.01, 0.03, 0.10, 0.30]
+
+_results: dict[float, tuple[int, float]] = {}
+
+
+@pytest.fixture(scope="module")
+def hypergraph():
+    a = load_collection_matrix(MATRIX, scale=min(SCALE, 0.1), seed=0)
+    yield build_finegrain_model(a).hypergraph
+    if len(_results) == len(EPSILONS):
+        lines = [f"\nABLATION A3 — epsilon sweep ({MATRIX}, K={K}):"]
+        for eps in EPSILONS:
+            cut, imb = _results[eps]
+            lines.append(
+                f"  eps={eps:5.2f}: cutsize={cut:6d}  "
+                f"achieved imbalance={100 * imb:5.2f}%"
+            )
+        report("\n".join(lines))
+        # loosest bound should not do worse than the tightest
+        assert _results[EPSILONS[-1]][0] <= _results[EPSILONS[0]][0] * 1.1
+
+
+@pytest.mark.parametrize("eps", EPSILONS)
+def test_epsilon(benchmark, hypergraph, eps):
+    cfg = PartitionerConfig(epsilon=eps)
+
+    def run():
+        return partition_hypergraph(hypergraph, K, config=cfg, seed=0)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results[eps] = (res.cutsize, res.imbalance)
+    # the partitioner must hit the requested balance (small rounding slack)
+    assert res.imbalance <= eps + 0.02

@@ -1,0 +1,44 @@
+"""A2 — ablation: recursive bisection alone vs + direct K-way refinement.
+
+The paper runs plain recursive bisection (PaToH); the direct K-way boundary
+pass is the "planned modifications" extension.  It may only ever improve
+the cutsize (the pass applies positive-gain moves only).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SCALE, report
+from repro.core import build_finegrain_model
+from repro.matrix import load_collection_matrix
+from repro.partitioner import PartitionerConfig, partition_hypergraph
+
+MATRIX = "cq9"
+K = 16
+
+_results: dict[bool, int] = {}
+
+
+@pytest.fixture(scope="module")
+def hypergraph():
+    a = load_collection_matrix(MATRIX, scale=min(SCALE, 0.1), seed=0)
+    yield build_finegrain_model(a).hypergraph
+    if set(_results) == {False, True}:
+        report(
+            f"\nABLATION A2 — direct K-way refinement ({MATRIX}, K={K}):\n"
+            f"  recursive bisection:        cutsize={_results[False]}\n"
+            f"  + direct K-way refinement:  cutsize={_results[True]}"
+        )
+        assert _results[True] <= _results[False]
+
+
+@pytest.mark.parametrize("kway", [False, True], ids=["recursive", "recursive+kway"])
+def test_kway_refinement(benchmark, hypergraph, kway):
+    cfg = PartitionerConfig(kway_refine=kway)
+
+    def run():
+        return partition_hypergraph(hypergraph, K, config=cfg, seed=0)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results[kway] = res.cutsize

@@ -1,0 +1,64 @@
+"""A6 — ablation: the scale gradient of the model comparison.
+
+DESIGN.md §4's central substitution caveat, measured: shrinking the
+surrogates at constant average degree inflates density by 1/scale, which
+compresses the volume gap between the models.  This bench runs one matrix
+at several scales and reports the 2D/1D and 2D/graph volume ratios — they
+must trend *downwards* (gaps opening) as scale grows toward the paper's
+full-size setting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.bench.runner import run_instance
+from repro.matrix import load_collection_matrix
+
+MATRIX = "ken-11"
+K = 16
+SCALES = [0.05, 0.1, 0.2]
+
+_results: dict[float, dict[str, float]] = {}
+
+
+@pytest.fixture(scope="module")
+def finalizer():
+    yield
+    if len(_results) == len(SCALES):
+        lines = [f"\nABLATION A6 — scale gradient ({MATRIX}, K={K}):"]
+        lines.append(
+            f"  {'scale':>6} {'graph':>8} {'1d-hg':>8} {'2d-fg':>8} "
+            f"{'2d/1d':>6} {'2d/graph':>9}"
+        )
+        for s in SCALES:
+            r = _results[s]
+            lines.append(
+                f"  {s:>6} {r['graph']:>8.3f} {r['hypergraph1d']:>8.3f} "
+                f"{r['finegrain2d']:>8.3f} "
+                f"{r['finegrain2d'] / r['hypergraph1d']:>6.2f} "
+                f"{r['finegrain2d'] / r['graph']:>9.2f}"
+            )
+        lines.append("  (paper, full size:                      0.23      0.15)")
+        report("\n".join(lines))
+        # the 2D advantage must not shrink as the surrogate grows
+        first = _results[SCALES[0]]
+        last = _results[SCALES[-1]]
+        assert (
+            last["finegrain2d"] / last["graph"]
+            <= first["finegrain2d"] / first["graph"] * 1.10
+        )
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_scale(benchmark, finalizer, scale):
+    a = load_collection_matrix(MATRIX, scale=scale, seed=0)
+
+    def run():
+        out = {}
+        for model in ("graph", "hypergraph1d", "finegrain2d"):
+            out[model] = run_instance(a, MATRIX, K, model, n_seeds=1).tot
+        return out
+
+    _results[scale] = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,44 @@
+"""Throughput of the measurement substrate itself.
+
+The simulator must be cheap relative to partitioning (it is called once per
+seed per instance in Table 2), so we benchmark its two entry points on the
+largest benchmark matrix with a random fine-grain decomposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SCALE
+from repro.core import build_finegrain_model, decomposition_from_finegrain
+from repro.matrix import load_collection_matrix
+from repro.spmv import communication_stats, simulate_spmv
+
+
+@pytest.fixture(scope="module")
+def decomposition():
+    a = load_collection_matrix("mod2", scale=min(SCALE, 0.25), seed=0)
+    model = build_finegrain_model(a)
+    rng = np.random.default_rng(0)
+    part = rng.integers(0, 64, size=model.hypergraph.num_vertices)
+    return decomposition_from_finegrain(model, part, 64)
+
+
+def test_communication_stats(benchmark, decomposition):
+    stats = benchmark(communication_stats, decomposition)
+    assert stats.total_volume > 0
+
+
+def test_simulate_spmv(benchmark, decomposition):
+    x = np.random.default_rng(1).standard_normal(decomposition.m)
+    res = benchmark(simulate_spmv, decomposition, x)
+    assert np.isfinite(res.y).all()
+
+
+def test_simulate_with_ledger(benchmark, decomposition):
+    res = benchmark.pedantic(
+        simulate_spmv, args=(decomposition,), kwargs={"collect_messages": True},
+        rounds=1, iterations=1,
+    )
+    assert res.messages

@@ -1,0 +1,31 @@
+"""E1 — Table 1: test-matrix structural properties.
+
+Benchmarks the generation of every collection matrix and prints the
+generated-vs-paper statistics table.  The fidelity assertions mirror
+tests/test_collection.py but run at the benchmark's scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import MATRIX_NAMES, SCALE, report
+from repro.matrix import load_collection_matrix, matrix_stats, paper_table1
+from repro.bench.tables import format_table1
+
+
+@pytest.mark.parametrize("name", MATRIX_NAMES)
+def test_generate_matrix(benchmark, name):
+    """Time the deterministic generation of one collection matrix."""
+    a = benchmark(load_collection_matrix, name, SCALE, 0)
+    s = matrix_stats(a, name)
+    assert s.rows > 0
+    assert s.min_per_rowcol >= 1  # no empty rows/columns, as in the paper
+
+
+def test_print_table1(benchmark, bench_matrices):
+    """Compute and print Table 1 (generated alongside the paper's
+    originals).  The timed section is the statistics computation over the
+    whole collection."""
+    text = benchmark(format_table1, bench_matrices, paper_table1())
+    report(f"\nTABLE 1 REPRODUCTION (scale={SCALE})\n{text}")

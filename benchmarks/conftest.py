@@ -1,0 +1,81 @@
+"""Shared configuration of the benchmark suite.
+
+Environment knobs (all optional):
+
+* ``REPRO_BENCH_SCALE``   — matrix scale factor (default 0.1; 1.0 = the
+  paper's original sizes — hours of pure-Python partitioning);
+* ``REPRO_BENCH_SEEDS``   — partitioner seeds per instance (default 1;
+  paper: 50);
+* ``REPRO_BENCH_KS``      — comma-separated K list (default ``16,32,64``);
+* ``REPRO_BENCH_MATRICES``— comma-separated subset of the 14 matrices
+  (default: all).
+
+Each bench prints its table after the run (with ``-s`` visible live;
+otherwise in the captured summary).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+from repro.matrix.collection import collection_names, load_collection_matrix
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+SEEDS = int(os.environ.get("REPRO_BENCH_SEEDS", "1"))
+KS = tuple(
+    int(x) for x in os.environ.get("REPRO_BENCH_KS", "16,32,64").split(",") if x
+)
+_names_env = os.environ.get("REPRO_BENCH_MATRICES", "")
+MATRIX_NAMES = [n for n in _names_env.split(",") if n] or collection_names()
+
+
+@pytest.fixture(scope="session")
+def bench_matrices():
+    """The benchmark's matrix set, generated once per session."""
+    return {
+        name: load_collection_matrix(name, scale=SCALE, seed=0)
+        for name in MATRIX_NAMES
+    }
+
+
+#: report blocks accumulated during the run, flushed by
+#: pytest_terminal_summary (fd-level capture would swallow direct prints
+#: from fixture teardowns)
+_REPORTS: list[str] = []
+
+
+def report(text: str) -> None:
+    """Queue bench-report text for the end-of-run terminal summary."""
+    _REPORTS.append(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print the reproduction tables after the benchmark summary."""
+    for block in _REPORTS:
+        terminalreporter.write_line(block)
+    _REPORTS.clear()
+
+
+@pytest.fixture(scope="session")
+def table2_collector():
+    """Accumulates InstanceResults across bench_table2 tests and prints the
+    paper-layout table when the session ends."""
+    results = []
+    yield results
+    if results:
+        from repro.bench.summary import summarize_table2
+        from repro.bench.tables import format_table2
+
+        lines = [
+            "",
+            "=" * 70,
+            f"TABLE 2 REPRODUCTION (scale={SCALE}, seeds={SEEDS})",
+            "=" * 70,
+            format_table2(results),
+            "",
+            summarize_table2(results).report(),
+        ]
+        report("\n".join(lines))

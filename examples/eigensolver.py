@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Distributed eigensolver on a fine-grain decomposition.
+
+Power iteration for the dominant eigenpair of a symmetric matrix, with
+every multiply running on the decomposed matrix and the total
+communication bill itemized — SpMV traffic (what the paper's model
+minimizes) versus the scalar all-reduces of the vector operations (free of
+vector-component communication thanks to the symmetric distribution).
+
+Run:  python examples/eigensolver.py
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro import decompose_2d_finegrain
+from repro.solvers import power_iteration
+
+K = 16
+
+
+def laplacian_matrix(n_side: int = 24) -> sp.csr_matrix:
+    """2D grid Laplacian (symmetric positive semidefinite)."""
+    n = n_side * n_side
+    rows, cols, vals = [], [], []
+    for x in range(n_side):
+        for y in range(n_side):
+            v = x * n_side + y
+            deg = 0
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                xx, yy = x + dx, y + dy
+                if 0 <= xx < n_side and 0 <= yy < n_side:
+                    rows.append(v)
+                    cols.append(xx * n_side + yy)
+                    vals.append(-1.0)
+                    deg += 1
+            rows.append(v)
+            cols.append(v)
+            vals.append(float(deg))
+    return sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+
+
+def main() -> None:
+    a = laplacian_matrix()
+    print(f"grid Laplacian: n={a.shape[0]}, nnz={a.nnz}, K={K}")
+
+    dec, info = decompose_2d_finegrain(a, K, seed=0)
+    print(f"decomposition: {info.summary()}")
+
+    res = power_iteration(dec, tol=1e-10, maxiter=5000)
+    dense_top = np.linalg.eigvalsh(a.toarray())[-1]
+    print(
+        f"dominant eigenvalue: {res.eigenvalue:.6f} "
+        f"(dense reference {dense_top:.6f}) in {res.iterations} iterations"
+    )
+    print(
+        f"communication per iteration: {res.spmv_words_per_iteration} SpMV words "
+        f"in {res.spmv_messages_per_iteration} messages "
+        f"+ {res.reduction_words_per_iteration} all-reduce words"
+    )
+    print(f"whole solve: {res.total_words} words")
+    assert abs(res.eigenvalue - dense_top) / dense_top < 1e-4
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""A miniature Table 2: compare the three decomposition models on one
+matrix across several K.
+
+For the full 14-matrix reproduction run ``python -m repro.bench table2``.
+
+Run:  python examples/model_comparison.py [matrix] [scale]
+"""
+
+import sys
+
+from repro.bench import format_table2, run_matrix_instances, summarize_table2
+from repro.matrix import load_collection_matrix, matrix_stats
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "cre-b"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.1
+    a = load_collection_matrix(name, scale=scale, seed=0)
+    print(matrix_stats(a, name).table1_row(), "\n")
+
+    results = run_matrix_instances(
+        a, name, ks=(16, 32, 64), n_seeds=1,
+        progress=lambda s: print(f"  running {s}..."),
+    )
+    print()
+    print(format_table2(results))
+    print()
+    print(summarize_table2(results).report())
+
+
+if __name__ == "__main__":
+    main()

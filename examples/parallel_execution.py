@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Run a fine-grain decomposition on real OS processes.
+
+The paper's tables count words and messages; this example *sends* them:
+K worker processes execute the expand / multiply / fold phases against the
+compiled communication plan, exchanging numpy payloads through queues —
+the shape of an mpi4py implementation, minus MPI.
+
+Run:  python examples/parallel_execution.py
+"""
+
+import numpy as np
+
+from repro import decompose_2d_finegrain
+from repro.matrix import load_collection_matrix
+from repro.spmv import build_comm_plan, parallel_spmv, simulate_spmv
+
+K = 8
+
+
+def main() -> None:
+    a = load_collection_matrix("bcspwr10", scale=0.2, seed=0)
+    print(f"matrix: {a.shape[0]}x{a.shape[1]}, {a.nnz} nnz; K={K} processes")
+
+    dec, info = decompose_2d_finegrain(a, K, seed=0)
+    plan = build_comm_plan(dec)
+    busiest = max(plan.processors, key=lambda p: p.n_messages)
+    print(f"partition: {info.summary()}")
+    print(
+        f"plan: rank {busiest.rank} is busiest with {busiest.n_messages} "
+        f"sends / {busiest.send_words} words per multiply"
+    )
+
+    x = np.random.default_rng(1).standard_normal(a.shape[0])
+    y = parallel_spmv(dec, x, plan=plan)
+    assert np.allclose(y, a @ x)
+    print("parallel result == serial A @ x (verified across real processes)")
+
+    # and the traffic the workers generated is what the simulator predicted
+    stats = simulate_spmv(dec, x).stats
+    planned = plan.stats()
+    assert stats.total_volume == planned.total_volume
+    print(
+        f"traffic: {planned.total_volume} words in "
+        f"{planned.total_messages} messages, exactly as simulated"
+    )
+
+
+if __name__ == "__main__":
+    main()

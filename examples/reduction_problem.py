@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Generic parallel reduction with pre-assigned inputs/outputs (§3).
+
+The paper notes the fine-grain model "can also be used to decompose
+computational domains of other parallel reduction problems", including
+problems whose inputs/outputs are pre-assigned to processors — handled by
+adding K zero-weight *part vertices* fixed to their parts and pinned into
+the nets of the pre-assigned elements.
+
+The scenario here: a sensor-fusion reduction.  ``n_sensors`` input readings
+are combined by overlapping window tasks into ``n_tracks`` output
+estimates.  Half of the sensors are wired to specific processors (their
+readings arrive on fixed NICs), so the decomposition must respect those
+placements while minimizing communication.
+
+Run:  python examples/reduction_problem.py
+"""
+
+import numpy as np
+
+from repro.hypergraph.partition import cutsize_connectivity, imbalance
+from repro.models import ReductionProblem, build_reduction_hypergraph
+from repro.partitioner import PartitionerConfig, partition_hypergraph
+
+K = 4
+N_SENSORS = 120
+N_TRACKS = 40
+TASKS_PER_TRACK = 6
+
+
+def make_problem(rng: np.random.Generator) -> ReductionProblem:
+    """Each track is fed by several tasks, each reading a sensor window."""
+    task_inputs = []
+    task_outputs = []
+    for track in range(N_TRACKS):
+        for _ in range(TASKS_PER_TRACK):
+            start = int(rng.integers(0, N_SENSORS - 5))
+            task_inputs.append(tuple(range(start, start + 4)))
+            task_outputs.append((track,))
+    return ReductionProblem(
+        n_inputs=N_SENSORS,
+        n_outputs=N_TRACKS,
+        task_inputs=tuple(task_inputs),
+        task_outputs=tuple(task_outputs),
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    problem = make_problem(rng)
+    print(
+        f"reduction: {problem.n_tasks} tasks, {N_SENSORS} inputs, "
+        f"{N_TRACKS} outputs, K={K}"
+    )
+
+    # pre-assign half the sensors round-robin to processors (fixed NICs)
+    input_assignment = [-1] * N_SENSORS
+    for s in range(0, N_SENSORS, 2):
+        input_assignment[s] = (s // 2) % K
+
+    h, task_ids = build_reduction_hypergraph(
+        problem, k=K, input_assignment=input_assignment
+    )
+    print(
+        f"hypergraph: {h.num_vertices} vertices "
+        f"({problem.n_tasks} tasks + {K} fixed part vertices), "
+        f"{h.num_nets} nets"
+    )
+
+    res = partition_hypergraph(h, K, config=PartitionerConfig(epsilon=0.05), seed=0)
+    print(f"partition: cutsize={res.cutsize} imbalance={100 * res.imbalance:.1f}%")
+
+    # the part vertices stayed where they were fixed
+    for p in range(K):
+        assert res.part[problem.n_tasks + p] == p
+    print("fixed part vertices respected (pre-assigned sensors honoured)")
+
+    # compare with ignoring the pre-assignment (free placement lower bound)
+    h_free, _ = build_reduction_hypergraph(problem)
+    free = partition_hypergraph(h_free, K, seed=0)
+    print(
+        f"communication volume: {res.cutsize} words with fixed sensors "
+        f"vs {free.cutsize} with free placement "
+        f"(the gap is the price of the NIC constraints)"
+    )
+
+
+if __name__ == "__main__":
+    main()

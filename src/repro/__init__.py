@@ -1,0 +1,73 @@
+"""repro — a full reproduction of the fine-grain hypergraph model for 2D
+sparse-matrix decomposition (Çatalyürek & Aykanat, IPPS 2001).
+
+Quickstart::
+
+    import scipy.sparse as sp
+    from repro import decompose_2d_finegrain, simulate_spmv
+
+    a = sp.random(1000, 1000, density=0.01, format="csr", random_state=0)
+    dec, info = decompose_2d_finegrain(a, k=16, seed=0)
+    result = simulate_spmv(dec)
+    print(info.summary())
+    print(result.stats.summary())
+    assert result.stats.total_volume == info.cutsize   # the paper's theorem
+
+Packages:
+
+* :mod:`repro.core` — the fine-grain model, decompositions, decode rule;
+* :mod:`repro.models` — 1D hypergraph baselines, standard graph model,
+  generic reduction problems;
+* :mod:`repro.partitioner` — multilevel hypergraph partitioner (PaToH
+  analogue);
+* :mod:`repro.graph` — graph substrate + multilevel graph partitioner
+  (MeTiS analogue);
+* :mod:`repro.hypergraph` — hypergraph substrate and partition metrics;
+* :mod:`repro.spmv` — exact communication simulator for parallel SpMV;
+* :mod:`repro.matrix` — sparse-matrix toolkit and the synthetic test-matrix
+  collection;
+* :mod:`repro.bench` — the Table 1 / Table 2 experiment harness.
+"""
+
+from repro.core import (
+    Decomposition,
+    FineGrainModel,
+    build_finegrain_model,
+    decompose_1d_columnnet,
+    decompose_1d_graph,
+    decompose_1d_rownet,
+    decompose_2d_finegrain,
+    decompose_2d_rectangular,
+    decomposition_from_finegrain,
+    decomposition_from_row_partition,
+)
+from repro.hypergraph import Hypergraph, Partition
+from repro.partitioner import PartitionerConfig, PartitionResult, partition_hypergraph
+from repro.graph import Graph, partition_graph
+from repro.spmv import CommStats, communication_stats, simulate_spmv
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Decomposition",
+    "FineGrainModel",
+    "build_finegrain_model",
+    "decompose_1d_columnnet",
+    "decompose_1d_graph",
+    "decompose_1d_rownet",
+    "decompose_2d_finegrain",
+    "decompose_2d_rectangular",
+    "decomposition_from_finegrain",
+    "decomposition_from_row_partition",
+    "Hypergraph",
+    "Partition",
+    "PartitionerConfig",
+    "PartitionResult",
+    "partition_hypergraph",
+    "Graph",
+    "partition_graph",
+    "CommStats",
+    "communication_stats",
+    "simulate_spmv",
+    "__version__",
+]

@@ -1,0 +1,102 @@
+"""Shared low-level utilities: RNG normalization, validation, timing.
+
+These helpers are deliberately dependency-light; every subpackage of
+:mod:`repro` uses them, so they must import nothing from the rest of the
+library.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "as_rng",
+    "check_in_range",
+    "check_positive",
+    "ensure_int_array",
+    "prefix_from_counts",
+    "Timer",
+]
+
+#: Integer dtype used for all index arrays in the library.  int64 keeps the
+#: arithmetic safe for pin counts beyond 2**31 without any special casing;
+#: the memory cost is irrelevant at the scales a pure-Python partitioner can
+#: handle anyway.
+INDEX_DTYPE = np.int64
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Accepts ``None`` (fresh entropy), an ``int`` seed, or an existing
+    generator (returned unchanged so callers can thread one RNG through a
+    pipeline for reproducibility).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def ensure_int_array(data: Iterable[int] | np.ndarray, name: str = "array") -> np.ndarray:
+    """Convert *data* to a contiguous int64 numpy array, validating type.
+
+    Floating-point inputs are accepted only when they are exactly integral
+    (this catches accidental weight truncation early).
+    """
+    arr = np.asarray(data)
+    if arr.dtype.kind == "f":
+        if not np.all(arr == np.floor(arr)):
+            raise TypeError(f"{name} must contain integers, got fractional values")
+        arr = arr.astype(INDEX_DTYPE)
+    elif arr.dtype.kind in "iu":
+        arr = arr.astype(INDEX_DTYPE, copy=False)
+    else:
+        raise TypeError(f"{name} must be an integer array, got dtype {arr.dtype}")
+    return np.ascontiguousarray(arr)
+
+
+def prefix_from_counts(counts: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Build a CSR-style offset array (length ``len(counts)+1``) from counts."""
+    counts = np.asarray(counts, dtype=INDEX_DTYPE)
+    out = np.empty(len(counts) + 1, dtype=INDEX_DTYPE)
+    out[0] = 0
+    np.cumsum(counts, out=out[1:])
+    return out
+
+
+class Timer:
+    """Minimal wall-clock timer used by the partitioners and the bench
+    harness.
+
+    Usage::
+
+        with Timer() as t:
+            work()
+        print(t.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start

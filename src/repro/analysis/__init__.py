@@ -1,0 +1,20 @@
+"""Decomposition analysis and reporting.
+
+Tools for *understanding* a decomposition rather than scoring it: the K x K
+communication matrix, per-processor traffic/compute profiles, and plain-text
+reports used by the CLI's ``analyze`` command and the examples.
+"""
+
+from repro.analysis.report import (
+    DecompositionReport,
+    analyze_decomposition,
+    communication_matrix,
+    render_report,
+)
+
+__all__ = [
+    "DecompositionReport",
+    "analyze_decomposition",
+    "communication_matrix",
+    "render_report",
+]

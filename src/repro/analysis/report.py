@@ -1,0 +1,118 @@
+"""Per-processor and pairwise analysis of a decomposition."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import INDEX_DTYPE
+from repro.core.decomposition import Decomposition
+from repro.spmv.plan import build_comm_plan
+from repro.spmv.simulator import communication_stats
+from repro.spmv.stats import CommStats
+
+__all__ = [
+    "communication_matrix",
+    "DecompositionReport",
+    "analyze_decomposition",
+    "render_report",
+]
+
+
+def communication_matrix(dec: Decomposition) -> np.ndarray:
+    """``K x K`` matrix of words sent from rank *i* to rank *j* (both
+    phases).  Row sums are per-rank send volumes; the diagonal is zero."""
+    k = dec.k
+    out = np.zeros((k, k), dtype=INDEX_DTYPE)
+    plan = build_comm_plan(dec)
+    for p in plan.processors:
+        for dst, cols in p.expand_send.items():
+            out[p.rank, dst] += len(cols)
+        for dst, rows in p.fold_send.items():
+            out[p.rank, dst] += len(rows)
+    return out
+
+
+@dataclass(frozen=True)
+class DecompositionReport:
+    """Summary of everything worth knowing about one decomposition."""
+
+    stats: CommStats
+    comm_matrix: np.ndarray
+    #: number of ordered rank pairs exchanging any words
+    active_pairs: int
+    #: fraction of all possible ordered pairs that communicate
+    pair_density: float
+    #: per-rank words sent (both phases)
+    send_profile: np.ndarray
+    #: per-rank scalar multiplications
+    compute_profile: np.ndarray
+    #: Gini-style concentration of send traffic (0 = uniform, -> 1 = one
+    #: rank sends everything)
+    send_concentration: float
+
+
+def _concentration(values: np.ndarray) -> float:
+    """Normalized mean absolute difference (Gini coefficient)."""
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    n = len(v)
+    total = v.sum()
+    if n <= 1 or total == 0:
+        return 0.0
+    index = np.arange(1, n + 1)
+    return float((2 * (index * v).sum() / (n * total)) - (n + 1) / n)
+
+
+def analyze_decomposition(dec: Decomposition) -> DecompositionReport:
+    """Compute the full report for *dec*."""
+    stats = communication_stats(dec)
+    cm = communication_matrix(dec)
+    active = int(np.count_nonzero(cm))
+    possible = dec.k * (dec.k - 1)
+    return DecompositionReport(
+        stats=stats,
+        comm_matrix=cm,
+        active_pairs=active,
+        pair_density=active / possible if possible else 0.0,
+        send_profile=cm.sum(axis=1),
+        compute_profile=stats.compute.copy(),
+        send_concentration=_concentration(cm.sum(axis=1)),
+    )
+
+
+def _bar(value: float, peak: float, width: int = 30) -> str:
+    filled = int(round(width * value / peak)) if peak > 0 else 0
+    return "#" * filled + "." * (width - filled)
+
+
+def render_report(report: DecompositionReport, max_matrix: int = 16) -> str:
+    """Plain-text rendering: headline stats, per-rank profiles as bars, and
+    (for small K) the communication matrix itself."""
+    s = report.stats
+    lines = [
+        s.summary(),
+        f"active rank pairs: {report.active_pairs} "
+        f"({100 * report.pair_density:.0f}% of possible), "
+        f"send concentration (Gini): {report.send_concentration:.2f}",
+        "",
+        "rank |" + " compute".ljust(32) + "| words sent",
+    ]
+    peak_c = float(report.compute_profile.max(initial=1))
+    peak_s = float(report.send_profile.max(initial=1))
+    for r in range(s.k):
+        c = float(report.compute_profile[r])
+        v = float(report.send_profile[r])
+        lines.append(
+            f"{r:>4} | {_bar(c, peak_c)} | {_bar(v, peak_s, 20)} {int(v)}"
+        )
+    if s.k <= max_matrix:
+        lines.append("")
+        lines.append("communication matrix (words, row = sender):")
+        width = max(len(str(int(report.comm_matrix.max(initial=0)))), 3)
+        header = "     " + " ".join(f"{j:>{width}}" for j in range(s.k))
+        lines.append(header)
+        for i in range(s.k):
+            row = " ".join(f"{int(x):>{width}}" for x in report.comm_matrix[i])
+            lines.append(f"{i:>4} {row}")
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Command-line front end: ``python -m repro.bench <command>``.
+
+Commands
+--------
+table1
+    Print the structural statistics of the (synthesized) test matrices next
+    to the paper's Table 1 numbers.
+table2
+    Run the full model comparison and print it in the paper's Table 2
+    layout.
+summary
+    Run table2 and print the §4 headline aggregates.
+models2d
+    Compare four generations of 2D decomposition (checkerboard, jagged,
+    Mondriaan, fine-grain) on each matrix — quantifying the paper's §1
+    claim about prior 2D schemes.
+experiments
+    Run the table2 sweep and write EXPERIMENTS.md with every measurement
+    next to the paper's published value (see ``--output``).
+
+Common options: ``--scale`` (matrix size factor, default 0.125 so a laptop
+finishes in minutes; 1.0 reproduces the original sizes), ``--ks``,
+``--seeds``, ``--matrices``, ``--epsilon``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.runner import TABLE2_KS, run_table2
+from repro.bench.summary import summarize_table2
+from repro.bench.tables import format_table1, format_table2
+from repro.matrix.collection import (
+    collection_names,
+    load_collection_matrix,
+    paper_table1,
+)
+from repro.partitioner import PartitionerConfig
+
+__all__ = ["main"]
+
+
+def _parse(argv):
+    p = argparse.ArgumentParser(prog="python -m repro.bench", description=__doc__)
+    p.add_argument(
+        "command",
+        choices=["table1", "table2", "summary", "models2d", "experiments"],
+    )
+    p.add_argument("--output", default="EXPERIMENTS.md",
+                   help="output path for the experiments command")
+    p.add_argument("--export", default=None,
+                   help="also write table2 results to this .csv or .tex file")
+    p.add_argument("--scale", type=float, default=0.125,
+                   help="matrix scale factor (1.0 = paper-size)")
+    p.add_argument("--ks", type=int, nargs="+", default=list(TABLE2_KS))
+    p.add_argument("--seeds", type=int, default=3,
+                   help="partitioner seeds per instance (paper: 50)")
+    p.add_argument("--matrices", nargs="+", default=None,
+                   help="subset of collection matrices (default: all 14)")
+    p.add_argument("--epsilon", type=float, default=0.03)
+    p.add_argument("--matrix-seed", type=int, default=0)
+    return p.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _parse(argv if argv is not None else sys.argv[1:])
+    names = args.matrices or collection_names()
+    unknown = set(names) - set(collection_names())
+    if unknown:
+        print(f"unknown matrices: {sorted(unknown)}", file=sys.stderr)
+        return 2
+    matrices = {
+        n: load_collection_matrix(n, scale=args.scale, seed=args.matrix_seed)
+        for n in names
+    }
+
+    if args.command == "table1":
+        print(f"Table 1 (generated at scale={args.scale} | paper originals)")
+        print(format_table1(matrices, paper_table1()))
+        return 0
+
+    if args.command == "models2d":
+        _run_models2d(matrices, args)
+        return 0
+
+    cfg = PartitionerConfig(epsilon=args.epsilon)
+    results = run_table2(
+        matrices,
+        ks=args.ks,
+        n_seeds=args.seeds,
+        config=cfg,
+        progress=lambda s: print(f"  running {s}", file=sys.stderr),
+    )
+    if args.command == "table2":
+        print(
+            f"Table 2 (scale={args.scale}, seeds={args.seeds}, "
+            f"eps={args.epsilon}; volumes scaled by #rows)"
+        )
+        print(format_table2(results))
+        if args.export:
+            from repro.bench.export import results_to_csv, results_to_latex
+
+            text = (
+                results_to_latex(results)
+                if args.export.endswith(".tex")
+                else results_to_csv(results)
+            )
+            with open(args.export, "w") as f:
+                f.write(text)
+            print(f"exported {args.export}")
+    elif args.command == "experiments":
+        import platform
+
+        from repro.bench.experiments import render_experiments_md
+
+        text = render_experiments_md(
+            results, matrices, args.scale, args.seeds,
+            host_note=f"{platform.machine()} / Python {platform.python_version()}",
+        )
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(summarize_table2(results).report())
+    return 0
+
+
+def _run_models2d(matrices, args) -> None:
+    """Checkerboard vs jagged vs fine-grain on each matrix (A5)."""
+    from repro.core.api import decompose_2d_finegrain
+    from repro.models import (
+        decompose_2d_checkerboard,
+        decompose_2d_jagged,
+        decompose_2d_mondriaan,
+    )
+    from repro.spmv import communication_stats
+
+    k = args.ks[0]
+    print(f"2D decomposition methods at K={k} (scale={args.scale}):")
+    print(
+        f"{'matrix':<12} | {'checkerboard':^22} | {'jagged':^22} "
+        f"| {'mondriaan':^22} | {'fine-grain':^22}"
+    )
+    print(
+        f"{'':<12} | " + " | ".join(f"{'vol':>9} {'#msgs':>6} {'imb%':>5}" for _ in range(4))
+    )
+    for name, a in matrices.items():
+        cells = []
+        for make in (
+            lambda: decompose_2d_checkerboard(a, k),
+            lambda: decompose_2d_jagged(a, k, seed=0),
+            lambda: decompose_2d_mondriaan(a, k, seed=0),
+            lambda: decompose_2d_finegrain(a, k, seed=0)[0],
+        ):
+            stats = communication_stats(make())
+            cells.append(
+                f"{stats.total_volume:>9} {stats.avg_messages:>6.1f} "
+                f"{100 * stats.load_imbalance:>5.1f}"
+            )
+        print(f"{name:<12} | " + " | ".join(cells))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,95 @@
+"""Export Table-2 results as CSV or LaTeX.
+
+The text tables of :mod:`repro.bench.tables` are for terminals; papers and
+notebooks want machine-readable or typeset forms.  Both exporters place the
+paper's published value next to each measurement when available.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Sequence
+
+from repro.bench.paper_data import paper_row
+from repro.bench.runner import MODELS, InstanceResult
+
+__all__ = ["results_to_csv", "results_to_latex"]
+
+
+def _paper_or_none(r: InstanceResult):
+    try:
+        return paper_row(r.matrix, r.k, r.model)
+    except KeyError:
+        return None
+
+
+def results_to_csv(results: Sequence[InstanceResult]) -> str:
+    """One row per instance with measured and (when known) paper values."""
+    buf = io.StringIO()
+    w = csv.writer(buf)
+    w.writerow(
+        [
+            "matrix", "k", "model", "seeds",
+            "tot", "max", "avg_msgs", "time_s", "imbalance", "cutsize",
+            "paper_tot", "paper_max", "paper_msgs",
+        ]
+    )
+    for r in results:
+        p = _paper_or_none(r)
+        w.writerow(
+            [
+                r.matrix, r.k, r.model, r.n_seeds,
+                f"{r.tot:.6f}", f"{r.max:.6f}", f"{r.avg_msgs:.4f}",
+                f"{r.time:.4f}", f"{r.imbalance:.6f}", f"{r.cutsize:.1f}",
+                f"{p.tot:.2f}" if p else "",
+                f"{p.max:.2f}" if p else "",
+                f"{p.msgs:.2f}" if p else "",
+            ]
+        )
+    return buf.getvalue()
+
+
+def results_to_latex(results: Sequence[InstanceResult]) -> str:
+    """A booktabs-style LaTeX table in the paper's layout (one row per
+    matrix and K, model column groups left to right)."""
+    models = [m for m in MODELS if any(r.model == m for r in results)]
+    by = {(r.matrix, r.k, r.model): r for r in results}
+    matrices: list[str] = []
+    for r in results:
+        if r.matrix not in matrices:
+            matrices.append(r.matrix)
+    ks = sorted({r.k for r in results})
+
+    heads = {
+        "graph": "Graph model",
+        "hypergraph1d": "1D hypergraph",
+        "finegrain2d": "2D fine-grain",
+    }
+    cols = "ll" + "rrr" * len(models)
+    lines = [
+        r"\begin{tabular}{" + cols + "}",
+        r"\toprule",
+        " & ".join(
+            ["matrix", "$K$"]
+            + [r"\multicolumn{3}{c}{%s}" % heads.get(m, m) for m in models]
+        )
+        + r" \\",
+        " & ".join(
+            ["", ""] + ["tot", "max", r"\#msgs"] * len(models)
+        )
+        + r" \\",
+        r"\midrule",
+    ]
+    for matrix in matrices:
+        for k in ks:
+            cells = [matrix.replace("_", r"\_"), str(k)]
+            for m in models:
+                r = by.get((matrix, k, m))
+                if r is None:
+                    cells += ["--", "--", "--"]
+                else:
+                    cells += [f"{r.tot:.2f}", f"{r.max:.2f}", f"{r.avg_msgs:.2f}"]
+            lines.append(" & ".join(cells) + r" \\")
+    lines += [r"\bottomrule", r"\end{tabular}"]
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,103 @@
+"""The paper's published numbers, machine-readable.
+
+Table 2 of the paper (average communication requirements over 50 seeds per
+instance on the authors' 133 MHz PowerPC testbed), transcribed verbatim.
+Used by the EXPERIMENTS.md writer and the reproduction report to place our
+measurements next to the originals, and by tests that check our summary
+arithmetic reproduces the paper's own averages.
+
+Volumes are scaled by the number of rows of the matrix ("tot", "max");
+"msgs" is the average number of messages per processor; "time" is the
+partitioner runtime in seconds for the graph model and the *normalized*
+runtime (relative to the graph model) for the two hypergraph models — the
+paper prints the hypergraph columns in parentheses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PaperRow", "PAPER_TABLE2", "paper_row", "PAPER_OVERALL"]
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One (matrix, K, model) cell block of the paper's Table 2."""
+
+    matrix: str
+    k: int
+    model: str  # "graph" | "hypergraph1d" | "finegrain2d"
+    tot: float
+    max: float
+    msgs: float
+    time: float  # seconds for graph; normalized (x graph) otherwise
+
+
+def _rows(matrix, k, g, h, f):
+    return [
+        PaperRow(matrix, k, "graph", *g),
+        PaperRow(matrix, k, "hypergraph1d", *h),
+        PaperRow(matrix, k, "finegrain2d", *f),
+    ]
+
+
+#: (tot, max, msgs, time) triples transcribed from the paper's Table 2
+PAPER_TABLE2: list[PaperRow] = [
+    *_rows("sherman3", 16, (0.31, 0.03, 5.30, 0.53), (0.25, 0.02, 4.46, 1.77), (0.25, 0.02, 8.38, 3.03)),
+    *_rows("sherman3", 32, (0.46, 0.02, 6.48, 0.61), (0.37, 0.02, 5.81, 1.79), (0.36, 0.02, 10.07, 3.34)),
+    *_rows("sherman3", 64, (0.64, 0.02, 7.42, 0.71), (0.53, 0.01, 6.94, 1.71), (0.50, 0.01, 11.01, 3.39)),
+    *_rows("bcspwr10", 16, (0.09, 0.01, 4.21, 0.28), (0.08, 0.01, 4.29, 3.62), (0.07, 0.01, 7.14, 7.28)),
+    *_rows("bcspwr10", 32, (0.15, 0.01, 4.79, 0.34), (0.13, 0.01, 4.65, 3.63), (0.12, 0.01, 7.49, 7.25)),
+    *_rows("bcspwr10", 64, (0.23, 0.01, 5.20, 0.42), (0.22, 0.01, 4.93, 3.34), (0.19, 0.01, 7.32, 6.86)),
+    *_rows("ken-11", 16, (0.93, 0.08, 13.99, 1.77), (0.60, 0.05, 12.91, 2.19), (0.14, 0.02, 10.79, 3.66)),
+    *_rows("ken-11", 32, (1.17, 0.06, 26.00, 1.98), (0.74, 0.03, 21.19, 2.39), (0.29, 0.02, 18.85, 4.09)),
+    *_rows("ken-11", 64, (1.45, 0.04, 40.48, 2.35), (0.93, 0.02, 32.22, 2.26), (0.48, 0.02, 28.23, 4.20)),
+    *_rows("nl", 16, (1.70, 0.15, 14.99, 1.21), (1.06, 0.10, 13.30, 3.09), (0.74, 0.08, 23.87, 7.07)),
+    *_rows("nl", 32, (2.25, 0.10, 27.88, 1.43), (1.49, 0.07, 20.39, 3.12), (1.05, 0.07, 35.98, 7.39)),
+    *_rows("nl", 64, (3.04, 0.07, 38.35, 1.54), (2.20, 0.05, 26.13, 3.34), (1.38, 0.05, 42.43, 8.03)),
+    *_rows("ken-13", 16, (0.94, 0.08, 14.77, 3.84), (0.55, 0.04, 13.87, 2.17), (0.08, 0.01, 9.39, 3.33)),
+    *_rows("ken-13", 32, (1.17, 0.05, 29.02, 4.50), (0.63, 0.03, 22.79, 2.18), (0.17, 0.02, 11.22, 3.64)),
+    *_rows("ken-13", 64, (1.40, 0.03, 50.81, 4.78), (0.79, 0.02, 35.93, 2.30), (0.39, 0.02, 20.51, 4.33)),
+    *_rows("cq9", 16, (1.70, 0.17, 14.88, 2.12), (0.99, 0.12, 12.62, 2.64), (0.50, 0.08, 18.03, 6.81)),
+    *_rows("cq9", 32, (2.43, 0.15, 21.96, 2.46), (1.45, 0.08, 17.87, 2.61), (0.79, 0.09, 24.54, 6.96)),
+    *_rows("cq9", 64, (3.73, 0.12, 32.27, 2.80), (2.33, 0.06, 22.67, 2.82), (1.22, 0.07, 30.72, 7.31)),
+    *_rows("co9", 16, (1.50, 0.16, 14.81, 2.42), (0.94, 0.11, 12.82, 2.72), (0.47, 0.07, 20.00, 6.63)),
+    *_rows("co9", 32, (2.07, 0.12, 19.62, 2.84), (1.36, 0.08, 17.55, 2.78), (0.74, 0.07, 26.84, 7.14)),
+    *_rows("co9", 64, (3.10, 0.09, 29.99, 3.07), (2.17, 0.06, 21.85, 2.99), (1.09, 0.06, 31.13, 8.01)),
+    *_rows("pltexpA4-6", 16, (0.34, 0.03, 10.05, 3.22), (0.30, 0.03, 10.11, 3.81), (0.20, 0.02, 14.78, 8.92)),
+    *_rows("pltexpA4-6", 32, (0.55, 0.03, 15.86, 3.84), (0.51, 0.02, 14.73, 4.13), (0.29, 0.01, 20.51, 9.61)),
+    *_rows("pltexpA4-6", 64, (0.98, 0.03, 20.48, 4.32), (0.86, 0.02, 17.35, 4.21), (0.51, 0.01, 21.40, 9.73)),
+    *_rows("vibrobox", 16, (1.24, 0.11, 12.84, 2.77), (1.06, 0.08, 10.14, 4.56), (0.79, 0.07, 23.27, 10.40)),
+    *_rows("vibrobox", 32, (1.73, 0.08, 20.85, 3.25), (1.53, 0.06, 14.77, 4.65), (1.06, 0.06, 31.28, 10.90)),
+    *_rows("vibrobox", 64, (2.28, 0.05, 28.85, 3.49), (2.08, 0.05, 19.58, 4.97), (1.43, 0.05, 35.38, 11.88)),
+    *_rows("cre-d", 16, (2.82, 0.24, 14.90, 4.18), (2.00, 0.17, 11.78, 2.34), (1.15, 0.12, 26.05, 7.49)),
+    *_rows("cre-d", 32, (4.12, 0.19, 28.59, 4.80), (2.90, 0.14, 19.49, 2.44), (1.77, 0.11, 41.37, 8.08)),
+    *_rows("cre-d", 64, (5.95, 0.14, 47.36, 5.03), (4.14, 0.10, 29.73, 2.72), (2.55, 0.10, 55.76, 9.05)),
+    *_rows("cre-b", 16, (2.62, 0.23, 14.78, 4.41), (2.02, 0.18, 12.13, 2.38), (1.01, 0.11, 25.91, 7.27)),
+    *_rows("cre-b", 32, (3.90, 0.18, 28.57, 5.01), (2.88, 0.15, 19.97, 2.42), (1.55, 0.11, 40.33, 7.96)),
+    *_rows("cre-b", 64, (5.73, 0.14, 46.42, 5.42), (4.08, 0.12, 29.98, 2.62), (2.26, 0.10, 52.72, 8.66)),
+    *_rows("world", 16, (0.59, 0.05, 11.78, 5.76), (0.54, 0.06, 6.09, 3.36), (0.23, 0.05, 16.57, 8.37)),
+    *_rows("world", 32, (0.84, 0.04, 18.00, 7.04), (0.76, 0.05, 8.19, 3.34), (0.41, 0.04, 23.14, 9.00)),
+    *_rows("world", 64, (1.19, 0.03, 20.58, 8.16), (1.06, 0.04, 11.58, 3.54), (0.62, 0.04, 27.42, 9.54)),
+    *_rows("mod2", 16, (0.57, 0.05, 10.95, 5.85), (0.52, 0.06, 5.59, 3.51), (0.24, 0.05, 13.02, 8.92)),
+    *_rows("mod2", 32, (0.79, 0.04, 14.59, 7.19), (0.72, 0.04, 7.42, 3.32), (0.41, 0.05, 18.68, 9.20)),
+    *_rows("mod2", 64, (1.14, 0.03, 17.84, 7.96), (1.02, 0.04, 10.51, 3.68), (0.62, 0.04, 24.44, 9.33)),
+    *_rows("finan512", 16, (0.20, 0.03, 4.35, 7.84), (0.16, 0.03, 3.48, 3.28), (0.07, 0.02, 9.24, 7.03)),
+    *_rows("finan512", 32, (0.27, 0.02, 6.39, 9.56), (0.21, 0.02, 4.15, 3.30), (0.10, 0.02, 10.75, 7.04)),
+    *_rows("finan512", 64, (0.38, 0.01, 8.80, 11.17), (0.31, 0.01, 5.37, 3.34), (0.20, 0.02, 14.90, 7.13)),
+]
+
+#: the paper's own "overall average" row: (tot, max, msgs, time) per model
+PAPER_OVERALL: dict[str, tuple[float, float, float, float]] = {
+    "graph": (1.63, 0.08, 19.67, 3.86),
+    "hypergraph1d": (1.18, 0.06, 14.46, 3.03),
+    "finegrain2d": (0.68, 0.05, 22.64, 7.27),
+}
+
+
+def paper_row(matrix: str, k: int, model: str) -> PaperRow:
+    """Look up one Table 2 cell block (raises ``KeyError`` if absent)."""
+    for row in PAPER_TABLE2:
+        if row.matrix == matrix and row.k == k and row.model == model:
+            return row
+    raise KeyError(f"no paper data for ({matrix!r}, {k}, {model!r})")

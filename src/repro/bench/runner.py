@@ -1,0 +1,183 @@
+"""Decomposition-instance runner for the Table 2 experiment.
+
+A *decomposition instance* is (matrix, K, model).  For each instance the
+paper runs the partitioner from 50 random seeds and reports averages of
+the *actual* communication statistics of the induced decompositions —
+which is what this runner measures via :mod:`repro.spmv`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro._util import Timer
+from repro.core.api import (
+    decompose_1d_columnnet,
+    decompose_1d_graph,
+    decompose_2d_finegrain,
+)
+from repro.partitioner import PartitionerConfig
+from repro.spmv.simulator import communication_stats
+
+__all__ = [
+    "MODELS",
+    "InstanceResult",
+    "ModelAverages",
+    "run_instance",
+    "run_matrix_instances",
+    "run_table2",
+]
+
+#: model key -> decomposition function, in the paper's Table 2 column order
+MODELS: dict[str, Callable] = {
+    "graph": decompose_1d_graph,
+    "hypergraph1d": decompose_1d_columnnet,
+    "finegrain2d": decompose_2d_finegrain,
+}
+
+#: the K values of Table 2
+TABLE2_KS: tuple[int, ...] = (16, 32, 64)
+
+
+@dataclass(frozen=True)
+class InstanceResult:
+    """Averages over seeds for one (matrix, K, model) instance."""
+
+    matrix: str
+    k: int
+    model: str
+    n_seeds: int
+    #: scaled total communication volume (words / rows), like Table 2 "tot"
+    tot: float
+    #: scaled max per-processor volume, like Table 2 "max"
+    max: float
+    #: average number of messages sent per processor ("avg #msgs")
+    avg_msgs: float
+    #: partitioner wall-clock seconds ("time"; normalized later)
+    time: float
+    #: average computational load imbalance of the decompositions
+    imbalance: float
+    #: average partitioner cutsize (Eq. 3 for the hypergraph models,
+    #: edge cut for the graph model)
+    cutsize: float
+
+
+@dataclass(frozen=True)
+class ModelAverages:
+    """Column-wise averages over matrices (the paper's "averages" block)."""
+
+    model: str
+    k: int
+    tot: float
+    max: float
+    avg_msgs: float
+    time: float
+
+
+def run_instance(
+    a: sp.spmatrix,
+    matrix_name: str,
+    k: int,
+    model: str,
+    n_seeds: int = 3,
+    config: PartitionerConfig | None = None,
+    base_seed: int = 0,
+) -> InstanceResult:
+    """Run one decomposition instance averaged over ``n_seeds`` seeds."""
+    if model not in MODELS:
+        raise KeyError(f"unknown model {model!r}; choose from {sorted(MODELS)}")
+    fn = MODELS[model]
+    m = a.shape[0]
+    tots, maxs, msgs, times, imbs, cuts = [], [], [], [], [], []
+    for s in range(n_seeds):
+        with Timer() as t:
+            dec, info = fn(a, k, config=config, seed=base_seed + s)
+        stats = communication_stats(dec)
+        tots.append(stats.total_volume / m)
+        maxs.append(stats.max_volume / m)
+        msgs.append(stats.avg_messages)
+        times.append(t.elapsed)
+        imbs.append(stats.load_imbalance)
+        cuts.append(getattr(info, "cutsize", getattr(info, "edge_cut", 0)))
+    return InstanceResult(
+        matrix=matrix_name,
+        k=k,
+        model=model,
+        n_seeds=n_seeds,
+        tot=float(np.mean(tots)),
+        max=float(np.mean(maxs)),
+        avg_msgs=float(np.mean(msgs)),
+        time=float(np.mean(times)),
+        imbalance=float(np.mean(imbs)),
+        cutsize=float(np.mean(cuts)),
+    )
+
+
+def run_matrix_instances(
+    a: sp.spmatrix,
+    matrix_name: str,
+    ks: Sequence[int] = TABLE2_KS,
+    models: Sequence[str] = tuple(MODELS),
+    n_seeds: int = 3,
+    config: PartitionerConfig | None = None,
+    base_seed: int = 0,
+    progress: Callable[[str], None] | None = None,
+) -> list[InstanceResult]:
+    """All (K, model) instances of one matrix."""
+    out: list[InstanceResult] = []
+    for k in ks:
+        for model in models:
+            if progress:
+                progress(f"{matrix_name} K={k} {model}")
+            out.append(
+                run_instance(a, matrix_name, k, model, n_seeds, config, base_seed)
+            )
+    return out
+
+
+def run_table2(
+    matrices: dict[str, sp.spmatrix],
+    ks: Sequence[int] = TABLE2_KS,
+    models: Sequence[str] = tuple(MODELS),
+    n_seeds: int = 3,
+    config: PartitionerConfig | None = None,
+    base_seed: int = 0,
+    progress: Callable[[str], None] | None = None,
+) -> list[InstanceResult]:
+    """The full Table 2 sweep over the given matrices."""
+    out: list[InstanceResult] = []
+    for name, a in matrices.items():
+        out.extend(
+            run_matrix_instances(
+                a, name, ks, models, n_seeds, config, base_seed, progress
+            )
+        )
+    return out
+
+
+def model_averages(
+    results: Sequence[InstanceResult], ks: Sequence[int] = TABLE2_KS
+) -> list[ModelAverages]:
+    """Per (model, K) averages over matrices, plus overall (k=0) rows."""
+    out: list[ModelAverages] = []
+    models = sorted({r.model for r in results}, key=list(MODELS).index)
+    for model in models:
+        for k in list(ks) + [0]:
+            sel = [r for r in results if r.model == model and (k == 0 or r.k == k)]
+            if not sel:
+                continue
+            out.append(
+                ModelAverages(
+                    model=model,
+                    k=k,
+                    tot=float(np.mean([r.tot for r in sel])),
+                    max=float(np.mean([r.max for r in sel])),
+                    avg_msgs=float(np.mean([r.avg_msgs for r in sel])),
+                    time=float(np.mean([r.time for r in sel])),
+                )
+            )
+    return out

@@ -1,0 +1,119 @@
+"""The §4 headline numbers derived from a Table 2 run.
+
+The paper's summary claims (checked against our measurements by
+EXPERIMENTS.md and the integration tests):
+
+* 2D fine-grain beats the 1D hypergraph model by ~43% and the graph model
+  by ~59% in overall-average total volume;
+* average #msgs of the fine-grain model stays well below the ``2(K-1)``
+  bound and approaches the graph model's as K grows;
+* fine-grain partitioning is ~2.4x the 1D hypergraph time and ~7.3x the
+  graph-model time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.bench.runner import InstanceResult
+
+__all__ = ["Summary", "summarize_table2"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Aggregate comparison of the three models over one Table 2 run."""
+
+    #: % reduction of overall-average total volume, 2D vs 1D hypergraph
+    improvement_vs_hypergraph1d: float
+    #: % reduction of overall-average total volume, 2D vs graph model
+    improvement_vs_graph: float
+    #: overall-average messages per processor, per model
+    avg_msgs: dict[str, float]
+    #: fraction of instances where the message bound (K-1 for 1D models,
+    #: 2(K-1) for fine-grain) holds — must be 1.0
+    msg_bound_ok: float
+    #: overall-average runtime ratios vs the graph model
+    time_ratio_vs_graph: dict[str, float]
+    #: per-instance win rate of the fine-grain model on total volume
+    finegrain_win_rate: float
+
+    def report(self) -> str:
+        """Multi-line human-readable report, paper claims alongside."""
+        lines = [
+            "Summary (paper's §4 claims in brackets):",
+            f"  2D vs 1D hypergraph volume improvement: "
+            f"{self.improvement_vs_hypergraph1d:5.1f}%  [paper: 43%]",
+            f"  2D vs graph-model volume improvement:   "
+            f"{self.improvement_vs_graph:5.1f}%  [paper: 59%]",
+            f"  fine-grain per-instance win rate:       "
+            f"{100 * self.finegrain_win_rate:5.1f}%  [paper: wins every instance]",
+            f"  message bound satisfied:                "
+            f"{100 * self.msg_bound_ok:5.1f}%  [must be 100%]",
+        ]
+        for model, ratio in self.time_ratio_vs_graph.items():
+            tag = {"hypergraph1d": "[paper: ~3.0x]", "finegrain2d": "[paper: ~7.3x]"}.get(model, "")
+            lines.append(f"  {model} time vs graph model:    {ratio:5.2f}x  {tag}")
+        for model, msgs in self.avg_msgs.items():
+            lines.append(f"  avg #msgs ({model}): {msgs:.2f}")
+        return "\n".join(lines)
+
+
+def summarize_table2(results: Sequence[InstanceResult]) -> Summary:
+    """Compute the §4 aggregates from per-instance results."""
+
+    def mean_tot(model: str) -> float:
+        vals = [r.tot for r in results if r.model == model]
+        return float(np.mean(vals)) if vals else float("nan")
+
+    tot_g = mean_tot("graph")
+    tot_h = mean_tot("hypergraph1d")
+    tot_f = mean_tot("finegrain2d")
+
+    # message bounds
+    ok = 0
+    n = 0
+    for r in results:
+        bound = 2 * (r.k - 1) if r.model == "finegrain2d" else (r.k - 1)
+        n += 1
+        ok += r.avg_msgs <= bound + 1e-9
+
+    # time ratios (paired by matrix and K)
+    by = {(r.matrix, r.k, r.model): r for r in results}
+    ratios: dict[str, list[float]] = {"hypergraph1d": [], "finegrain2d": []}
+    wins = 0
+    pairs = 0
+    for (matrix, k, model), r in by.items():
+        if model != "graph":
+            continue
+        for other in ("hypergraph1d", "finegrain2d"):
+            o = by.get((matrix, k, other))
+            if o is not None and r.time > 0:
+                ratios[other].append(o.time / r.time)
+        f = by.get((matrix, k, "finegrain2d"))
+        h = by.get((matrix, k, "hypergraph1d"))
+        if f is not None:
+            ref = min(x.tot for x in (r, h) if x is not None)
+            pairs += 1
+            wins += f.tot <= ref + 1e-12
+
+    def pct_impr(base: float, new: float) -> float:
+        return 100.0 * (base - new) / base if base > 0 else float("nan")
+
+    return Summary(
+        improvement_vs_hypergraph1d=pct_impr(tot_h, tot_f),
+        improvement_vs_graph=pct_impr(tot_g, tot_f),
+        avg_msgs={
+            m: float(np.mean([r.avg_msgs for r in results if r.model == m]))
+            for m in ("graph", "hypergraph1d", "finegrain2d")
+            if any(r.model == m for r in results)
+        },
+        msg_bound_ok=ok / n if n else 1.0,
+        time_ratio_vs_graph={
+            m: float(np.mean(v)) for m, v in ratios.items() if v
+        },
+        finegrain_win_rate=wins / pairs if pairs else float("nan"),
+    )

@@ -1,0 +1,120 @@
+"""Table formatters mirroring the paper's layout."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import scipy.sparse as sp
+
+from repro.bench.runner import MODELS, InstanceResult, model_averages
+from repro.matrix.stats import MatrixStats, matrix_stats
+
+__all__ = ["format_table1", "format_table2"]
+
+_MODEL_HEADS = {
+    "graph": "Standard Graph Model",
+    "hypergraph1d": "1D Hypergraph Model",
+    "finegrain2d": "2D Fine-Grain HG Model",
+}
+
+
+def format_table1(
+    matrices: dict[str, sp.spmatrix],
+    paper: Sequence[MatrixStats] | None = None,
+) -> str:
+    """Table 1: structural properties of the test matrices.
+
+    When the paper's statistics are supplied, each generated matrix is shown
+    side by side with its original for an at-a-glance fidelity check.
+    """
+    lines = []
+    hdr = f"{'name':<12} {'rows':>8} {'nnz':>9} {'min':>4} {'max':>5} {'avg':>7}"
+    if paper is not None:
+        hdr += "   |" + f"{'rows':>8} {'nnz':>9} {'min':>4} {'max':>5} {'avg':>7}  (paper)"
+    lines.append(hdr)
+    lines.append("-" * len(hdr))
+    paper_by_name = {s.name: s for s in paper} if paper else {}
+    for name, a in matrices.items():
+        s = matrix_stats(a, name)
+        row = (
+            f"{name:<12} {s.rows:>8} {s.nnz:>9} {s.min_per_rowcol:>4} "
+            f"{s.max_per_rowcol:>5} {s.avg_per_rowcol:>7.2f}"
+        )
+        p = paper_by_name.get(name)
+        if p is not None:
+            row += (
+                f"   |{p.rows:>8} {p.nnz:>9} {p.min_per_rowcol:>4} "
+                f"{p.max_per_rowcol:>5} {p.avg_per_rowcol:>7.2f}"
+            )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_table2(results: Sequence[InstanceResult]) -> str:
+    """Table 2: per-instance communication statistics of the three models.
+
+    Columns per model: scaled total volume, scaled max per-processor
+    volume, average messages per processor, partitioner time — time shown
+    in seconds for the graph model and *(normalized to the graph model)*
+    in parentheses for the hypergraph models, exactly as the paper prints
+    it.
+    """
+    models = [m for m in MODELS if any(r.model == m for r in results)]
+    matrices: list[str] = []
+    for r in results:
+        if r.matrix not in matrices:
+            matrices.append(r.matrix)
+    ks = sorted({r.k for r in results})
+    by = {(r.matrix, r.k, r.model): r for r in results}
+
+    lines = []
+    head1 = f"{'name':<12} {'K':>3}"
+    for m in models:
+        head1 += f" | {_MODEL_HEADS.get(m, m):^34}"
+    lines.append(head1)
+    head2 = f"{'':<12} {'':>3}"
+    for _ in models:
+        head2 += f" | {'tot':>7} {'max':>6} {'#msgs':>7} {'time':>9}"
+    lines.append(head2)
+    lines.append("-" * len(head2))
+
+    def row_cells(matrix: str, k: int) -> str:
+        base = by.get((matrix, k, "graph"))
+        cells = ""
+        for m in models:
+            r = by.get((matrix, k, m))
+            if r is None:
+                cells += f" | {'-':>7} {'-':>6} {'-':>7} {'-':>9}"
+                continue
+            if m == "graph" or base is None or base.time <= 0:
+                tcell = f"{r.time:>9.2f}"
+            else:
+                tcell = f"({r.time / base.time:>6.2f}) "
+            cells += f" | {r.tot:>7.2f} {r.max:>6.2f} {r.avg_msgs:>7.2f} {tcell:>9}"
+        return cells
+
+    for matrix in matrices:
+        for k in ks:
+            lines.append(f"{matrix:<12} {k:>3}" + row_cells(matrix, k))
+        lines.append("")
+
+    # averages block
+    lines.append("Averages")
+    avgs = model_averages(results, ks)
+    by_avg = {(a.model, a.k): a for a in avgs}
+    for k in ks + [0]:
+        label = f"avg K={k}" if k else "avg overall"
+        row = f"{label:<16}"
+        base = by_avg.get(("graph", k))
+        for m in models:
+            a = by_avg.get((m, k))
+            if a is None:
+                row += f" | {'-':>7} {'-':>6} {'-':>7} {'-':>9}"
+                continue
+            if m == "graph" or base is None or base.time <= 0:
+                tcell = f"{a.time:>9.2f}"
+            else:
+                tcell = f"({a.time / base.time:>6.2f}) "
+            row += f" | {a.tot:>7.2f} {a.max:>6.2f} {a.avg_msgs:>7.2f} {tcell:>9}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""The paper's primary contribution: the 2D fine-grain hypergraph model.
+
+* :mod:`~repro.core.finegrain` — build the fine-grain hypergraph of a
+  sparse matrix (one vertex per nonzero, one net per row and per column,
+  dummy diagonal vertices enforcing the consistency condition);
+* :mod:`~repro.core.decomposition` — generic 2D decompositions (ownership
+  of nonzeros and of x/y vector entries) plus the decode rule
+  ``map[n_j] = map[m_j] = part[v_jj]``;
+* :mod:`~repro.core.api` — one-call decomposition entry points for all
+  three models compared in the paper;
+* :mod:`~repro.core.render` — the Figure-1 style dependency view.
+"""
+
+from repro.core.finegrain import FineGrainModel, build_finegrain_model
+from repro.core.decomposition import (
+    Decomposition,
+    decomposition_from_finegrain,
+    decomposition_from_finegrain_rect,
+    decomposition_from_row_partition,
+    decomposition_from_col_partition,
+)
+from repro.core.api import (
+    decompose_2d_finegrain,
+    decompose_2d_rectangular,
+    decompose_1d_columnnet,
+    decompose_1d_rownet,
+    decompose_1d_graph,
+)
+
+__all__ = [
+    "FineGrainModel",
+    "build_finegrain_model",
+    "Decomposition",
+    "decomposition_from_finegrain",
+    "decomposition_from_finegrain_rect",
+    "decomposition_from_row_partition",
+    "decomposition_from_col_partition",
+    "decompose_2d_finegrain",
+    "decompose_2d_rectangular",
+    "decompose_1d_columnnet",
+    "decompose_1d_rownet",
+    "decompose_1d_graph",
+]

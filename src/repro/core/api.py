@@ -1,0 +1,154 @@
+"""One-call decomposition entry points for the three models of the paper.
+
+Each function takes a square sparse matrix and K and returns a
+``(Decomposition, info)`` pair, where ``info`` carries the partitioner's
+result object (cutsize, imbalance, runtime).  The cutsize relationships the
+paper proves are then directly checkable::
+
+    dec, info = decompose_2d_finegrain(a, 16)
+    stats = communication_stats(dec)
+    assert stats.total_volume == info.cutsize      # Eq. 3 == words moved
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro._util import as_rng
+from repro.core.decomposition import (
+    Decomposition,
+    decomposition_from_col_partition,
+    decomposition_from_finegrain,
+    decomposition_from_row_partition,
+)
+from repro.core.finegrain import build_finegrain_model
+from repro.graph.partitioner import GraphPartitionResult, partition_graph
+from repro.models.graph_model import build_standard_graph_model
+from repro.models.onedim import build_columnnet_model, build_rownet_model
+from repro.partitioner import PartitionerConfig, PartitionResult, partition_hypergraph
+
+__all__ = [
+    "decompose_2d_finegrain",
+    "decompose_1d_columnnet",
+    "decompose_1d_rownet",
+    "decompose_1d_graph",
+]
+
+
+def decompose_2d_finegrain(
+    a: sp.spmatrix,
+    k: int,
+    config: PartitionerConfig | None = None,
+    seed: int | np.random.Generator | None = None,
+    seed_1d: bool = False,
+) -> tuple[Decomposition, PartitionResult]:
+    """2D fine-grain decomposition (the paper's contribution).
+
+    Builds the fine-grain hypergraph (dummy diagonal vertices included),
+    partitions it into K equally weighted parts minimizing Eq. 3, and
+    decodes the partition with ``map[n_j] = map[m_j] = part[v_jj]``.  The
+    resulting decomposition's total communication volume equals the
+    partition's cutsize exactly.
+
+    ``seed_1d=True`` additionally computes a 1D column-net partition, maps
+    it into the fine-grain solution space (every rowwise decomposition is
+    one), and keeps whichever of {direct fine-grain, refined 1D seed}
+    cuts less — guaranteeing the 2D result never loses to the 1D model on
+    the same run (ablation A7; an extension beyond the paper).
+    """
+    from repro._util import Timer
+    from repro.hypergraph.partition import (
+        cutsize_connectivity,
+        cutsize_cutnet,
+        imbalance,
+    )
+    from repro.partitioner.refine_kway import refine_partition
+
+    rng = np.random.default_rng(seed) if not isinstance(seed, np.random.Generator) else seed
+    model = build_finegrain_model(a, consistency=True)
+    res = partition_hypergraph(model.hypergraph, k, config=config, seed=rng)
+    if seed_1d:
+        with Timer() as t:
+            one_d = build_columnnet_model(a, consistency=True)
+            row_res = partition_hypergraph(one_d.hypergraph, k, config=config, seed=rng)
+            seeded = row_res.part[model.vertex_row]  # rowwise point in 2D space
+            seeded = refine_partition(
+                model.hypergraph, seeded, k, config=config, seed=rng
+            )
+            cut = cutsize_connectivity(model.hypergraph, seeded)
+        if cut < res.cutsize:
+            res = PartitionResult(
+                part=seeded,
+                k=k,
+                cutsize=cut,
+                cutsize_cutnet=cutsize_cutnet(model.hypergraph, seeded),
+                imbalance=imbalance(model.hypergraph, seeded, k),
+                runtime=res.runtime + t.elapsed,
+                bisection_cuts=[],
+            )
+    dec = decomposition_from_finegrain(model, res.part, k)
+    return dec, res
+
+
+def decompose_2d_rectangular(
+    a: sp.spmatrix,
+    k: int,
+    config: PartitionerConfig | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[Decomposition, PartitionResult]:
+    """Fine-grain decomposition of a (possibly rectangular) matrix.
+
+    The consistency-free variant of §3: no symmetric x/y distribution is
+    required (inputs and outputs of the reduction are distinct element
+    sets), so the bare fine-grain hypergraph is already exact.  Vector
+    entries are assigned to the majority part of their net, keeping the
+    decomposition's volume at the partition's cutsize.
+    """
+    from repro.core.decomposition import decomposition_from_finegrain_rect
+
+    model = build_finegrain_model(a, consistency=False)
+    res = partition_hypergraph(model.hypergraph, k, config=config, seed=seed)
+    dec = decomposition_from_finegrain_rect(model, res.part, k)
+    return dec, res
+
+
+def decompose_1d_columnnet(
+    a: sp.spmatrix,
+    k: int,
+    config: PartitionerConfig | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[Decomposition, PartitionResult]:
+    """1D rowwise decomposition via the column-net hypergraph model
+    (the paper's "1D Hypergraph Model" baseline, TPDS 1999)."""
+    model = build_columnnet_model(a, consistency=True)
+    res = partition_hypergraph(model.hypergraph, k, config=config, seed=seed)
+    dec = decomposition_from_row_partition(a, res.part, k)
+    return dec, res
+
+
+def decompose_1d_rownet(
+    a: sp.spmatrix,
+    k: int,
+    config: PartitionerConfig | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[Decomposition, PartitionResult]:
+    """1D columnwise decomposition via the row-net hypergraph model."""
+    model = build_rownet_model(a, consistency=True)
+    res = partition_hypergraph(model.hypergraph, k, config=config, seed=seed)
+    dec = decomposition_from_col_partition(a, res.part, k)
+    return dec, res
+
+
+def decompose_1d_graph(
+    a: sp.spmatrix,
+    k: int,
+    config: PartitionerConfig | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[Decomposition, GraphPartitionResult]:
+    """1D rowwise decomposition via the standard graph model (the paper's
+    MeTiS baseline)."""
+    model = build_standard_graph_model(a)
+    res = partition_graph(model.graph, k, config=config, seed=seed)
+    dec = decomposition_from_row_partition(a, res.part, k)
+    return dec, res

@@ -1,0 +1,78 @@
+"""Text rendering of the fine-grain dependency relation (Figure 1).
+
+Figure 1 of the paper illustrates how a column net gathers the scalar
+multiplications that need one ``x_j`` and a row net gathers the partial
+results folded into one ``y_i``.  :func:`render_dependency_view` draws the
+same picture for any (small) matrix as plain text, and
+:func:`render_partitioned_matrix` shows a decomposition as a processor grid
+over the nonzero pattern — both used by the example scripts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.decomposition import Decomposition
+from repro.core.finegrain import FineGrainModel
+
+__all__ = ["render_dependency_view", "render_partitioned_matrix"]
+
+
+def render_dependency_view(model: FineGrainModel, row: int, col: int) -> str:
+    """Describe row net ``m_row`` and column net ``n_col`` (Figure-1 view).
+
+    Lists the atomic tasks (vertices) each net connects and the expand/fold
+    operation it models, e.g.::
+
+        column-net n_2 (expand of x_2, 3 pins):
+          v_02: y_0^2 = a_02 * x_2
+          ...
+    """
+    h = model.hypergraph
+    m = model.m
+    if not (0 <= row < m and 0 <= col < m):
+        raise ValueError("row/col out of range")
+    lines: list[str] = []
+
+    pins = h.pins_of(model.col_net(col))
+    lines.append(f"column-net n_{col} (expand of x_{col}, {len(pins)} pins):")
+    for v in pins:
+        i = int(model.vertex_row[v])
+        tag = " (dummy)" if model.is_dummy(int(v)) else ""
+        lines.append(f"  v_{i}{col}: y_{i}^{col} = a_{i}{col} * x_{col}{tag}")
+
+    pins = h.pins_of(model.row_net(row))
+    lines.append(f"row-net m_{row} (fold of y_{row}, {len(pins)} pins):")
+    terms = []
+    for v in pins:
+        j = int(model.vertex_col[v])
+        tag = " (dummy)" if model.is_dummy(int(v)) else ""
+        lines.append(f"  v_{row}{j}: y_{row}^{j} = a_{row}{j} * x_{j}{tag}")
+        terms.append(f"y_{row}^{j}")
+    lines.append(f"  fold: y_{row} = " + " + ".join(terms))
+    return "\n".join(lines)
+
+
+def render_partitioned_matrix(dec: Decomposition, max_size: int = 64) -> str:
+    """ASCII map of nonzero ownership: digit/letter = owning processor.
+
+    ``.`` marks structural zeros.  Only matrices up to ``max_size`` are
+    rendered (the picture is useless beyond terminal width).
+    """
+    if dec.m > max_size:
+        raise ValueError(f"matrix too large to render (> {max_size})")
+    symbols = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    if dec.k > len(symbols):
+        raise ValueError("too many parts to render")
+    grid = np.full((dec.m, dec.m), ".", dtype="<U1")
+    for r, c, p in zip(dec.nnz_row, dec.nnz_col, dec.nnz_owner):
+        grid[int(r), int(c)] = symbols[int(p)]
+    rows = ["".join(grid[i]) for i in range(dec.m)]
+    legend = (
+        "x owner: "
+        + "".join(symbols[int(p)] for p in dec.x_owner)
+        + "\ny owner: "
+        + "".join(symbols[int(p)] for p in dec.y_owner)
+    )
+    return "\n".join(rows) + "\n" + legend

@@ -1,0 +1,24 @@
+"""Graph substrate and the multilevel graph partitioner (MeTiS analogue).
+
+The paper's first baseline is the *standard graph model* partitioned with
+MeTiS [12].  This package implements a CSR graph
+(:class:`~repro.graph.graph.Graph`) and a from-scratch multilevel
+recursive-bisection partitioner with the same pipeline as pmetis:
+heavy-edge matching coarsening, greedy graph growing initial bisection and
+boundary FM refinement on the edge-cut metric
+(:mod:`~repro.graph.partitioner`).
+"""
+
+from repro.graph.graph import Graph, graph_from_sparse
+from repro.graph.metrics import edge_cut, graph_imbalance, graph_part_weights
+from repro.graph.partitioner import GraphPartitionResult, partition_graph
+
+__all__ = [
+    "Graph",
+    "graph_from_sparse",
+    "edge_cut",
+    "graph_imbalance",
+    "graph_part_weights",
+    "GraphPartitionResult",
+    "partition_graph",
+]

@@ -1,0 +1,118 @@
+"""Undirected weighted graph in CSR (adjacency-list) form."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro._util import INDEX_DTYPE, ensure_int_array
+
+__all__ = ["Graph", "graph_from_sparse"]
+
+
+class Graph:
+    """Undirected graph with integer vertex and edge weights.
+
+    Storage is symmetric CSR: every undirected edge ``{u, v}`` appears both
+    in ``adj[u]`` and ``adj[v]`` with the same weight.  Self loops are not
+    allowed (they are meaningless for partitioning and MeTiS also rejects
+    them).
+    """
+
+    __slots__ = ("num_vertices", "xadj", "adj", "adjwgt", "vwgt")
+
+    def __init__(
+        self,
+        num_vertices: int,
+        xadj,
+        adj,
+        adjwgt=None,
+        vwgt=None,
+        validate: bool = True,
+    ) -> None:
+        self.num_vertices = int(num_vertices)
+        self.xadj = ensure_int_array(xadj, "xadj")
+        self.adj = ensure_int_array(adj, "adj")
+        if adjwgt is None:
+            self.adjwgt = np.ones(len(self.adj), dtype=INDEX_DTYPE)
+        else:
+            self.adjwgt = ensure_int_array(adjwgt, "adjwgt")
+        if vwgt is None:
+            self.vwgt = np.ones(self.num_vertices, dtype=INDEX_DTYPE)
+        else:
+            self.vwgt = ensure_int_array(vwgt, "vwgt")
+        if validate:
+            self._check()
+
+    def _check(self) -> None:
+        if len(self.xadj) != self.num_vertices + 1 or self.xadj[0] != 0:
+            raise ValueError("xadj must have length n+1 and start at 0")
+        if np.any(np.diff(self.xadj) < 0):
+            raise ValueError("xadj must be non-decreasing")
+        if self.xadj[-1] != len(self.adj):
+            raise ValueError("xadj[-1] must equal len(adj)")
+        if len(self.adjwgt) != len(self.adj):
+            raise ValueError("adjwgt length mismatch")
+        if len(self.vwgt) != self.num_vertices:
+            raise ValueError("vwgt length mismatch")
+        if len(self.adj):
+            if self.adj.min() < 0 or self.adj.max() >= self.num_vertices:
+                raise ValueError("adjacency index out of range")
+            src = np.repeat(
+                np.arange(self.num_vertices, dtype=INDEX_DTYPE), np.diff(self.xadj)
+            )
+            if np.any(src == self.adj):
+                raise ValueError("self loops are not allowed")
+            # symmetry: multiset of (u,v,w) must equal multiset of (v,u,w)
+            fwd = np.lexsort((self.adjwgt, self.adj, src))
+            bwd = np.lexsort((self.adjwgt, src, self.adj))
+            if not (
+                np.array_equal(src[fwd], self.adj[bwd])
+                and np.array_equal(self.adj[fwd], src[bwd])
+                and np.array_equal(self.adjwgt[fwd], self.adjwgt[bwd])
+            ):
+                raise ValueError("adjacency structure is not symmetric")
+
+    # -- accessors -------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return len(self.adj) // 2
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbour ids of *v* (a view)."""
+        return self.adj[self.xadj[v] : self.xadj[v + 1]]
+
+    def degree(self, v: int) -> int:
+        """Number of neighbours of *v*."""
+        return int(self.xadj[v + 1] - self.xadj[v])
+
+    def total_vertex_weight(self) -> int:
+        """Sum of vertex weights."""
+        return int(self.vwgt.sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(V={self.num_vertices}, E={self.num_edges})"
+
+
+def graph_from_sparse(adj_matrix: sp.spmatrix, vwgt=None) -> Graph:
+    """Build a :class:`Graph` from a symmetric sparse adjacency matrix.
+
+    Off-diagonal structure gives the edges (values are the edge weights and
+    must be positive integers); the diagonal is ignored.
+    """
+    a = sp.csr_matrix(adj_matrix)
+    if a.shape[0] != a.shape[1]:
+        raise ValueError("adjacency matrix must be square")
+    a = a.tolil()
+    a.setdiag(0)
+    a = a.tocsr()
+    a.eliminate_zeros()
+    a.sort_indices()
+    return Graph(
+        a.shape[0],
+        a.indptr,
+        a.indices,
+        adjwgt=a.data,
+        vwgt=vwgt,
+    )

@@ -1,0 +1,77 @@
+"""Construction helpers for :class:`~repro.hypergraph.Hypergraph`."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro._util import INDEX_DTYPE, prefix_from_counts
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["hypergraph_from_netlists", "hypergraph_from_csr", "validate_hypergraph"]
+
+
+def hypergraph_from_netlists(
+    num_vertices: int,
+    netlists: Iterable[Sequence[int]],
+    vertex_weights: Sequence[int] | np.ndarray | None = None,
+    net_costs: Sequence[int] | np.ndarray | None = None,
+    fixed: Sequence[int] | np.ndarray | None = None,
+) -> Hypergraph:
+    """Build a hypergraph from an iterable of per-net pin lists.
+
+    This is the convenient constructor for tests and small examples; the
+    models build CSR arrays directly for speed.
+
+    >>> h = hypergraph_from_netlists(4, [[0, 1], [1, 2, 3]])
+    >>> h.num_nets, h.num_pins
+    (2, 5)
+    """
+    netlists = [list(n) for n in netlists]
+    counts = [len(n) for n in netlists]
+    xpins = prefix_from_counts(counts)
+    if netlists:
+        pins = np.concatenate([np.asarray(n, dtype=INDEX_DTYPE) for n in netlists]) \
+            if any(counts) else np.empty(0, dtype=INDEX_DTYPE)
+    else:
+        pins = np.empty(0, dtype=INDEX_DTYPE)
+    return Hypergraph(
+        num_vertices, xpins, pins,
+        vertex_weights=vertex_weights, net_costs=net_costs, fixed=fixed,
+    )
+
+
+def hypergraph_from_csr(
+    num_vertices: int,
+    xpins: np.ndarray,
+    pins: np.ndarray,
+    vertex_weights: np.ndarray | None = None,
+    net_costs: np.ndarray | None = None,
+    fixed: np.ndarray | None = None,
+    validate: bool = True,
+) -> Hypergraph:
+    """Build a hypergraph from raw CSR net→pin arrays (zero-copy when valid)."""
+    return Hypergraph(
+        num_vertices, xpins, pins,
+        vertex_weights=vertex_weights, net_costs=net_costs, fixed=fixed,
+        validate=validate,
+    )
+
+
+def validate_hypergraph(h: Hypergraph) -> None:
+    """Re-run structural validation plus dual-consistency checks.
+
+    Verifies that the vertex→net view is the exact transpose of the net→pin
+    view.  Used by property tests and after coarse-hypergraph construction.
+    """
+    h._check()
+    # dual consistency: (net, pin) pairs seen from both sides must agree
+    net_of_pin = np.repeat(np.arange(h.num_nets, dtype=INDEX_DTYPE), np.diff(h.xpins))
+    fwd = np.stack([net_of_pin, h.pins])
+    vtx_of_slot = np.repeat(np.arange(h.num_vertices, dtype=INDEX_DTYPE), np.diff(h.xnets))
+    bwd = np.stack([h.vnets, vtx_of_slot])
+    fwd_sorted = fwd[:, np.lexsort(fwd)]
+    bwd_sorted = bwd[:, np.lexsort(bwd)]
+    if fwd_sorted.shape != bwd_sorted.shape or not np.array_equal(fwd_sorted, bwd_sorted):
+        raise AssertionError("vertex->net view is not the transpose of net->pin view")

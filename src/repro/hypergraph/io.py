@@ -1,0 +1,202 @@
+"""Hypergraph file I/O: PaToH and hMeTiS text formats.
+
+PaToH format (the tool the paper runs)::
+
+    % comment lines start with %
+    <base> <|V|> <|N|> <|pins|> [<flag>]
+    ... one line per net: [cost] pin pin pin ...
+    [one line of |V| vertex weights when flag selects weighted vertices]
+
+``flag`` is 0 (unweighted), 1 (weighted vertices), 2 (weighted nets) or 3
+(both).  ``base`` is 0 or 1 and offsets every pin index.
+
+hMeTiS format::
+
+    <|N|> <|V|> [<fmt>]
+    ... one line per net (1-based pins), cost first when fmt has nets weighted
+    ... one line per vertex weight when fmt has vertices weighted
+
+fmt is omitted (unweighted), 1 (net costs), 10 (vertex weights) or 11 (both).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from repro._util import INDEX_DTYPE, prefix_from_counts
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["write_patoh", "read_patoh", "write_hmetis", "read_hmetis"]
+
+
+def _open(path_or_file, mode: str):
+    if isinstance(path_or_file, (str, Path)):
+        return open(path_or_file, mode), True
+    return path_or_file, False
+
+
+def _nonunit(arr: np.ndarray) -> bool:
+    return bool(np.any(arr != 1))
+
+
+# ----------------------------------------------------------------------
+# PaToH
+# ----------------------------------------------------------------------
+def write_patoh(h: Hypergraph, path_or_file, base: int = 1) -> None:
+    """Write *h* in PaToH text format (default 1-based pins)."""
+    f, close = _open(path_or_file, "w")
+    try:
+        wv = _nonunit(h.vertex_weights)
+        wn = _nonunit(h.net_costs)
+        flag = (1 if wv else 0) | (2 if wn else 0)
+        f.write(f"{base} {h.num_vertices} {h.num_nets} {h.num_pins} {flag}\n")
+        for j in range(h.num_nets):
+            pins = h.pins_of(j) + base
+            prefix = f"{int(h.net_costs[j])} " if wn else ""
+            f.write(prefix + " ".join(map(str, pins.tolist())) + "\n")
+        if wv:
+            f.write(" ".join(map(str, h.vertex_weights.tolist())) + "\n")
+    finally:
+        if close:
+            f.close()
+
+
+def read_patoh(path_or_file) -> Hypergraph:
+    """Read a hypergraph from PaToH text format."""
+    f, close = _open(path_or_file, "r")
+    try:
+        tokens = _tokenize(f)
+        header = next(tokens.lines).split()
+        if len(header) < 4:
+            raise ValueError("malformed PaToH header")
+        base, nv, nn, npins = (int(t) for t in header[:4])
+        flag = int(header[4]) if len(header) > 4 else 0
+        wv, wn = bool(flag & 1), bool(flag & 2)
+        netlists: list[list[int]] = []
+        costs: list[int] = []
+        seen = 0
+        # PaToH is line-oriented: one net per line
+        for _ in range(nn):
+            line = next(tokens.lines)
+            parts = [int(t) for t in line.split()]
+            if wn:
+                costs.append(parts[0])
+                parts = parts[1:]
+            netlists.append([p - base for p in parts])
+            seen += len(parts)
+        if seen != npins:
+            raise ValueError(f"pin count mismatch: header says {npins}, read {seen}")
+        weights = None
+        if wv:
+            wtoks: list[int] = []
+            while len(wtoks) < nv:
+                wtoks.extend(int(t) for t in next(tokens.lines).split())
+            weights = np.asarray(wtoks[:nv], dtype=INDEX_DTYPE)
+        xpins = prefix_from_counts([len(n) for n in netlists])
+        pins = (
+            np.concatenate([np.asarray(n, dtype=INDEX_DTYPE) for n in netlists])
+            if netlists and any(netlists)
+            else np.empty(0, dtype=INDEX_DTYPE)
+        )
+        return Hypergraph(
+            nv, xpins, pins,
+            vertex_weights=weights,
+            net_costs=np.asarray(costs, dtype=INDEX_DTYPE) if wn else None,
+        )
+    finally:
+        if close:
+            f.close()
+
+
+# ----------------------------------------------------------------------
+# hMeTiS
+# ----------------------------------------------------------------------
+def write_hmetis(h: Hypergraph, path_or_file) -> None:
+    """Write *h* in hMeTiS text format (1-based pins)."""
+    f, close = _open(path_or_file, "w")
+    try:
+        wv = _nonunit(h.vertex_weights)
+        wn = _nonunit(h.net_costs)
+        # hMeTiS fmt: ones digit = net costs present, tens digit = vertex
+        # weights present (manual §5.1): 1, 10 or 11
+        fmt_num = (10 if wv else 0) + (1 if wn else 0)
+        header = f"{h.num_nets} {h.num_vertices}"
+        if fmt_num:
+            header += f" {fmt_num}"
+        f.write(header + "\n")
+        for j in range(h.num_nets):
+            pins = h.pins_of(j) + 1
+            prefix = f"{int(h.net_costs[j])} " if wn else ""
+            f.write(prefix + " ".join(map(str, pins.tolist())) + "\n")
+        if wv:
+            for w in h.vertex_weights.tolist():
+                f.write(f"{w}\n")
+    finally:
+        if close:
+            f.close()
+
+
+def read_hmetis(path_or_file) -> Hypergraph:
+    """Read a hypergraph from hMeTiS text format."""
+    f, close = _open(path_or_file, "r")
+    try:
+        tokens = _tokenize(f)
+        header = next(tokens.lines).split()
+        nn, nv = int(header[0]), int(header[1])
+        fmt = header[2] if len(header) > 2 else "0"
+        wn = fmt in ("1", "11")
+        wv = fmt in ("10", "11")
+        netlists: list[list[int]] = []
+        costs: list[int] = []
+        for _ in range(nn):
+            parts = [int(t) for t in next(tokens.lines).split()]
+            if wn:
+                costs.append(parts[0])
+                parts = parts[1:]
+            netlists.append([p - 1 for p in parts])
+        weights = None
+        if wv:
+            weights = np.asarray(
+                [int(next(tokens.lines).split()[0]) for _ in range(nv)],
+                dtype=INDEX_DTYPE,
+            )
+        xpins = prefix_from_counts([len(n) for n in netlists])
+        pins = (
+            np.concatenate([np.asarray(n, dtype=INDEX_DTYPE) for n in netlists])
+            if netlists and any(netlists)
+            else np.empty(0, dtype=INDEX_DTYPE)
+        )
+        return Hypergraph(
+            nv, xpins, pins,
+            vertex_weights=weights,
+            net_costs=np.asarray(costs, dtype=INDEX_DTYPE) if wn else None,
+        )
+    finally:
+        if close:
+            f.close()
+
+
+# ----------------------------------------------------------------------
+class _TokenStream:
+    """Comment/blank-skipping line reader shared by both format parsers."""
+
+    def __init__(self, f: TextIO) -> None:
+        self._f = f
+        self.lines = self._line_iter()
+
+    def _line_iter(self):
+        while True:
+            line = self._f.readline()
+            if not line:
+                return
+            s = line.strip()
+            if not s or s.startswith("%") or s.startswith("#"):
+                continue
+            yield s
+
+
+def _tokenize(f: TextIO) -> _TokenStream:
+    return _TokenStream(f)

@@ -1,0 +1,64 @@
+"""Partition-vector file I/O (PaToH / MeTiS ``.part`` convention).
+
+Both tool families write K-way partitions as one part id per line; PaToH's
+``WritePartition`` and MeTiS's ``pmetis`` outputs are interchangeable with
+this module, so partitions can round-trip between this library and the
+original tools the paper used.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro._util import INDEX_DTYPE
+
+__all__ = ["write_partition", "read_partition"]
+
+
+def write_partition(part: np.ndarray, path_or_file, comment: str = "") -> None:
+    """Write one part id per line (optional ``%`` comment header)."""
+    close = False
+    if isinstance(path_or_file, (str, Path)):
+        f = open(path_or_file, "w")
+        close = True
+    else:
+        f = path_or_file
+    try:
+        if comment:
+            for line in comment.splitlines():
+                f.write(f"% {line}\n")
+        for p in np.asarray(part).tolist():
+            f.write(f"{int(p)}\n")
+    finally:
+        if close:
+            f.close()
+
+
+def read_partition(path_or_file, expected_length: int | None = None) -> np.ndarray:
+    """Read a part vector; validates non-negativity and optional length."""
+    close = False
+    if isinstance(path_or_file, (str, Path)):
+        f = open(path_or_file, "r")
+        close = True
+    else:
+        f = path_or_file
+    try:
+        out = []
+        for line in f:
+            s = line.strip()
+            if not s or s.startswith("%") or s.startswith("#"):
+                continue
+            out.append(int(s.split()[0]))
+    finally:
+        if close:
+            f.close()
+    part = np.asarray(out, dtype=INDEX_DTYPE)
+    if len(part) and part.min() < 0:
+        raise ValueError("negative part id in partition file")
+    if expected_length is not None and len(part) != expected_length:
+        raise ValueError(
+            f"partition has {len(part)} entries, expected {expected_length}"
+        )
+    return part

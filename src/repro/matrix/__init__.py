@@ -1,0 +1,49 @@
+"""Sparse-matrix substrate.
+
+Thin, explicit layer over ``scipy.sparse``:
+
+* :mod:`~repro.matrix.io` — Matrix Market reader/writer (no scipy.io);
+* :mod:`~repro.matrix.stats` — the structural statistics of Table 1;
+* :mod:`~repro.matrix.generators` — parameterized structural families
+  (stencil, geometric/power grid, skewed LP, staircase, block-arrow, banded
+  FEM) used to synthesize the paper's test set offline;
+* :mod:`~repro.matrix.collection` — the 14 named test matrices of Table 1,
+  reproduced structurally at configurable scale.
+"""
+
+from repro.matrix.stats import MatrixStats, matrix_stats
+from repro.matrix.io import read_matrix_market, write_matrix_market
+from repro.matrix.harwell_boeing import read_harwell_boeing, write_harwell_boeing
+from repro.matrix.generators import (
+    stencil_3d,
+    geometric_graph_matrix,
+    skewed_lp_matrix,
+    staircase_matrix,
+    block_arrow_matrix,
+    banded_fem_matrix,
+)
+from repro.matrix.collection import (
+    COLLECTION,
+    collection_names,
+    load_collection_matrix,
+    paper_table1,
+)
+
+__all__ = [
+    "MatrixStats",
+    "matrix_stats",
+    "read_matrix_market",
+    "write_matrix_market",
+    "read_harwell_boeing",
+    "write_harwell_boeing",
+    "stencil_3d",
+    "geometric_graph_matrix",
+    "skewed_lp_matrix",
+    "staircase_matrix",
+    "block_arrow_matrix",
+    "banded_fem_matrix",
+    "COLLECTION",
+    "collection_names",
+    "load_collection_matrix",
+    "paper_table1",
+]

@@ -1,0 +1,227 @@
+"""The paper's 14-matrix test set, reproduced structurally.
+
+Table 1 of the paper lists the matrices below with their sizes and degree
+statistics.  The original files (Harwell–Boeing, netlib LP, UF collection)
+are not available offline, so each entry is synthesized by the structural
+generator matching its application class, calibrated to the paper's
+statistics (see DESIGN.md §4 for the substitution rationale).
+
+Every entry accepts a ``scale`` factor: ``scale=1.0`` reproduces the
+original dimensions and nonzero counts; smaller values shrink rows and
+nonzeros proportionally (dense-row/column extents shrink with the matrix so
+the *structure class* is preserved).  Generation is deterministic in
+``(name, scale, seed)``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.matrix import generators as g
+from repro.matrix.stats import MatrixStats
+
+__all__ = ["COLLECTION", "collection_names", "load_collection_matrix", "paper_table1"]
+
+
+@dataclass(frozen=True)
+class CollectionEntry:
+    """One matrix of the paper's test set."""
+
+    name: str
+    description: str
+    #: statistics reported in the paper's Table 1
+    paper: MatrixStats
+    #: generator: (scale, seed) -> csr_matrix
+    build: Callable[[float, int], sp.csr_matrix]
+
+
+def _s(x: float, scale: float, lo: int = 1) -> int:
+    """Scale an integer dimension, keeping it at least *lo*."""
+    return max(int(round(x * scale)), lo)
+
+
+def _paper(name: str, rows: int, nnz: int, dmin: int, dmax: int, avg: float) -> MatrixStats:
+    return MatrixStats(
+        name=name, rows=rows, cols=rows, nnz=nnz,
+        min_per_rowcol=dmin, max_per_rowcol=dmax, avg_per_rowcol=avg, nnz_diag=-1,
+    )
+
+
+def _sherman3(scale: float, seed: int) -> sp.csr_matrix:
+    # 35 x 11 x 13 reservoir grid; keep_prob calibrated so that
+    # nnz = n + 2 * keep_prob * (#grid edges) matches 20033 at scale 1
+    nx, ny, nz = _s(35, scale ** (1 / 3), 2), _s(11, scale ** (1 / 3), 2), _s(13, scale ** (1 / 3), 2)
+    return g.stencil_3d(nx, ny, nz, keep_prob=0.536, diag_prob=1.0, seed=seed)
+
+
+def _bcspwr10(scale: float, seed: int) -> sp.csr_matrix:
+    return g.geometric_graph_matrix(
+        _s(5300, scale), avg_degree=3.12, max_degree=13, seed=seed
+    )
+
+
+def _lp(
+    rows: int,
+    nnz: int,
+    dmax: int,
+    dmin: int,
+    alpha: float,
+    block_size: int = 32,
+    coupling: float = 0.35,
+):
+    def build(scale: float, seed: int) -> sp.csr_matrix:
+        n = _s(rows, scale, 16)
+        return g.skewed_lp_matrix(
+            n,
+            _s(nnz, scale, 32),
+            max_degree=min(_s(dmax, scale, dmin + 4), n - 1),
+            min_degree=dmin,
+            alpha=alpha,
+            block_size=block_size,
+            coupling=coupling,
+            seed=seed,
+        )
+
+    return build
+
+
+def _pltexp(scale: float, seed: int) -> sp.csr_matrix:
+    return g.staircase_matrix(
+        n_stages=113,
+        rows_per_stage=_s(238, scale, 4),
+        avg_row_nnz=10.03,
+        min_row_nnz=5,
+        coupling=0.35,
+        col_skew=2.0,
+        seed=seed,
+    )
+
+
+def _vibrobox(scale: float, seed: int) -> sp.csr_matrix:
+    return g.banded_fem_matrix(
+        _s(12328, scale, 64),
+        bandwidth=_s(400, scale, 16),
+        avg_degree=27.81,
+        min_degree=9,
+        max_degree=121,
+        seed=seed,
+    )
+
+
+def _finan512(scale: float, seed: int) -> sp.csr_matrix:
+    return g.block_arrow_matrix(
+        n_blocks=_s(512, scale, 8),
+        block_size=145,
+        border=_s(512, scale, 8),
+        intra_degree=3.3,
+        border_degree_min=8,
+        border_degree_max=_s(1448, scale, 32),
+        seed=seed,
+    )
+
+
+#: name -> entry; insertion order follows Table 1 (increasing nonzeros)
+COLLECTION: dict[str, CollectionEntry] = {
+    e.name: e
+    for e in [
+        CollectionEntry(
+            "sherman3", "oil reservoir simulation, 3D finite differences",
+            _paper("sherman3", 5005, 20033, 1, 7, 4.00), _sherman3,
+        ),
+        CollectionEntry(
+            "bcspwr10", "eastern US power network",
+            _paper("bcspwr10", 5300, 21842, 2, 14, 4.12), _bcspwr10,
+        ),
+        CollectionEntry(
+            "ken-11", "multicommodity network flow LP (KORBX)",
+            _paper("ken-11", 14694, 82454, 2, 243, 5.61),
+            _lp(14694, 82454, 243, 2, 2.3, block_size=24, coupling=0.15),
+        ),
+        CollectionEntry(
+            "nl", "linear programming problem",
+            _paper("nl", 7039, 105089, 1, 361, 14.93),
+            _lp(7039, 105089, 361, 1, 1.45, block_size=48, coupling=0.40),
+        ),
+        CollectionEntry(
+            "ken-13", "multicommodity network flow LP (KORBX)",
+            _paper("ken-13", 28632, 161804, 2, 339, 5.65),
+            _lp(28632, 161804, 339, 2, 2.3, block_size=24, coupling=0.12),
+        ),
+        CollectionEntry(
+            "cq9", "linear programming problem (Gondzio set)",
+            _paper("cq9", 9278, 221590, 1, 702, 23.88),
+            _lp(9278, 221590, 702, 1, 1.35, block_size=64, coupling=0.35),
+        ),
+        CollectionEntry(
+            "co9", "linear programming problem (Gondzio set)",
+            _paper("co9", 10789, 249205, 1, 707, 23.10),
+            _lp(10789, 249205, 707, 1, 1.35, block_size=64, coupling=0.35),
+        ),
+        CollectionEntry(
+            "pltexpA4-6", "multistage stochastic planning LP (staircase)",
+            _paper("pltexpA4-6", 26894, 269736, 5, 204, 10.03), _pltexp,
+        ),
+        CollectionEntry(
+            "vibrobox", "vibro-acoustic structure FEM",
+            _paper("vibrobox", 12328, 342828, 9, 121, 27.81), _vibrobox,
+        ),
+        CollectionEntry(
+            "cre-d", "airline crew scheduling LP (KORBX)",
+            _paper("cre-d", 8926, 372266, 1, 845, 41.71),
+            _lp(8926, 372266, 845, 1, 1.25, block_size=96, coupling=0.35),
+        ),
+        CollectionEntry(
+            "cre-b", "airline crew scheduling LP (KORBX)",
+            _paper("cre-b", 9648, 398806, 1, 904, 41.34),
+            _lp(9648, 398806, 904, 1, 1.25, block_size=96, coupling=0.35),
+        ),
+        CollectionEntry(
+            "world", "world trade LP model",
+            _paper("world", 34506, 582064, 1, 972, 16.87),
+            _lp(34506, 582064, 972, 1, 1.4, block_size=48, coupling=0.30),
+        ),
+        CollectionEntry(
+            "mod2", "LP model (Kennington set)",
+            _paper("mod2", 34774, 604910, 1, 941, 17.40),
+            _lp(34774, 604910, 941, 1, 1.4, block_size=48, coupling=0.30),
+        ),
+        CollectionEntry(
+            "finan512", "portfolio optimization, block-arrow structure",
+            _paper("finan512", 74752, 615774, 3, 1449, 8.24), _finan512,
+        ),
+    ]
+}
+
+
+def collection_names() -> list[str]:
+    """Matrix names in the paper's Table 1 order."""
+    return list(COLLECTION.keys())
+
+
+def load_collection_matrix(
+    name: str, scale: float = 1.0, seed: int = 0
+) -> sp.csr_matrix:
+    """Generate the named test matrix at the requested scale.
+
+    Deterministic: the same ``(name, scale, seed)`` always returns the same
+    matrix.
+    """
+    if name not in COLLECTION:
+        raise KeyError(f"unknown collection matrix {name!r}; see collection_names()")
+    if not (0 < scale <= 1.0):
+        raise ValueError("scale must be in (0, 1]")
+    # decorrelate the per-matrix streams while keeping determinism
+    # (zlib.crc32 is stable across processes, unlike built-in str hashing)
+    name_key = zlib.crc32(name.encode("utf-8"))
+    mixed_seed = int(np.random.SeedSequence([seed, name_key]).generate_state(1)[0])
+    return COLLECTION[name].build(scale, mixed_seed)
+
+
+def paper_table1() -> list[MatrixStats]:
+    """The statistics of the paper's Table 1, in order."""
+    return [e.paper for e in COLLECTION.values()]

@@ -1,0 +1,169 @@
+"""Sparse-matrix reordering utilities.
+
+The fine-grain line of work (Çatalyürek's thesis [2] covers "Partitioning
+and Reordering") treats permutations as first-class: decompositions are
+often *visualized* by permuting the matrix so each processor's rows/columns
+are contiguous, and bandwidth-reducing orders are the classical counterpoint
+to partition-based ones.  This module provides:
+
+* :func:`reverse_cuthill_mckee` — classical RCM bandwidth reduction on the
+  symmetrized pattern, from scratch (BFS from a pseudo-peripheral vertex,
+  neighbours by increasing degree, order reversed);
+* :func:`random_symmetric_permutation` — scrambles any latent structure
+  (used by tests to show partitioners re-discover hidden blocks);
+* :func:`partition_block_order` — the permutation that makes a 1D
+  partition's parts contiguous, exposing the decomposition's block
+  structure;
+* :func:`bandwidth` and :func:`profile` — the quality metrics RCM targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro._util import INDEX_DTYPE, as_rng
+
+__all__ = [
+    "bandwidth",
+    "profile",
+    "reverse_cuthill_mckee",
+    "random_symmetric_permutation",
+    "partition_block_order",
+    "apply_symmetric_permutation",
+]
+
+
+def _sym_adjacency(a: sp.spmatrix) -> sp.csr_matrix:
+    a = sp.csr_matrix(a)
+    if a.shape[0] != a.shape[1]:
+        raise ValueError("reordering requires a square matrix")
+    pattern = sp.csr_matrix(
+        (np.ones(a.nnz, dtype=np.int8), a.indices.copy(), a.indptr.copy()),
+        shape=a.shape,
+    )
+    sym = pattern + pattern.T
+    sym = sp.csr_matrix(sym)
+    sym.setdiag(0)
+    sym.eliminate_zeros()
+    sym.sort_indices()
+    return sym
+
+
+def bandwidth(a: sp.spmatrix) -> int:
+    """Maximum ``|i - j|`` over the stored nonzeros."""
+    coo = sp.coo_matrix(a)
+    if coo.nnz == 0:
+        return 0
+    return int(np.abs(coo.row - coo.col).max())
+
+
+def profile(a: sp.spmatrix) -> int:
+    """Sum over rows of the distance from the leftmost nonzero to the
+    diagonal (the skyline storage cost)."""
+    csr = sp.csr_matrix(a)
+    total = 0
+    for i in range(csr.shape[0]):
+        lo, hi = csr.indptr[i], csr.indptr[i + 1]
+        if hi > lo:
+            total += max(i - int(csr.indices[lo:hi].min()), 0)
+    return total
+
+
+def _pseudo_peripheral(adj: sp.csr_matrix, start: int) -> int:
+    """George–Liu style: repeat BFS from the farthest vertex until the
+    eccentricity stops growing."""
+    n = adj.shape[0]
+    current = start
+    last_ecc = -1
+    for _ in range(8):  # converges in a few rounds
+        levels = np.full(n, -1, dtype=INDEX_DTYPE)
+        levels[current] = 0
+        frontier = [current]
+        ecc = 0
+        while frontier:
+            nxt = []
+            for v in frontier:
+                for u in adj.indices[adj.indptr[v] : adj.indptr[v + 1]]:
+                    if levels[u] < 0:
+                        levels[u] = levels[v] + 1
+                        nxt.append(int(u))
+            if nxt:
+                ecc += 1
+            frontier = nxt
+        if ecc <= last_ecc:
+            break
+        last_ecc = ecc
+        far = np.flatnonzero(levels == ecc)
+        if len(far) == 0:
+            break
+        # pick the farthest vertex of minimum degree
+        degs = np.diff(adj.indptr)[far]
+        current = int(far[np.argmin(degs)])
+    return current
+
+
+def reverse_cuthill_mckee(a: sp.spmatrix) -> np.ndarray:
+    """RCM ordering; returns the permutation ``perm`` such that
+    ``a[perm][:, perm]`` has (usually much) smaller bandwidth.
+
+    Handles disconnected patterns by restarting from the lowest-degree
+    unvisited vertex.
+    """
+    adj = _sym_adjacency(a)
+    n = adj.shape[0]
+    degs = np.diff(adj.indptr)
+    visited = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    while len(order) < n:
+        unvisited = np.flatnonzero(~visited)
+        seed = int(unvisited[np.argmin(degs[unvisited])])
+        seed = _pseudo_peripheral_component(adj, seed, visited)
+        queue = [seed]
+        visited[seed] = True
+        while queue:
+            v = queue.pop(0)
+            order.append(v)
+            nbrs = adj.indices[adj.indptr[v] : adj.indptr[v + 1]]
+            fresh = [int(u) for u in nbrs if not visited[u]]
+            fresh.sort(key=lambda u: degs[u])
+            for u in fresh:
+                visited[u] = True
+            queue.extend(fresh)
+    return np.asarray(order[::-1], dtype=INDEX_DTYPE)
+
+
+def _pseudo_peripheral_component(
+    adj: sp.csr_matrix, seed: int, visited: np.ndarray
+) -> int:
+    """Pseudo-peripheral start restricted to the seed's unvisited component."""
+    # the plain helper ignores `visited` because components never overlap
+    return _pseudo_peripheral(adj, seed)
+
+
+def random_symmetric_permutation(
+    n: int, seed: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """A uniformly random permutation of ``range(n)``."""
+    return as_rng(seed).permutation(n).astype(INDEX_DTYPE)
+
+
+def partition_block_order(part: np.ndarray, k: int) -> np.ndarray:
+    """Permutation grouping indices by part id (stable within a part).
+
+    Applying it symmetrically to a 1D-decomposed matrix makes every
+    processor's rows/columns contiguous — the standard way of *looking at*
+    a decomposition.
+    """
+    part = np.asarray(part)
+    if len(part) and (part.min() < 0 or part.max() >= k):
+        raise ValueError("part id out of range")
+    return np.argsort(part, kind="stable").astype(INDEX_DTYPE)
+
+
+def apply_symmetric_permutation(a: sp.spmatrix, perm: np.ndarray) -> sp.csr_matrix:
+    """Return ``a[perm][:, perm]`` as CSR."""
+    a = sp.csr_matrix(a)
+    if len(perm) != a.shape[0] or a.shape[0] != a.shape[1]:
+        raise ValueError("permutation length must match a square matrix")
+    return sp.csr_matrix(a[perm][:, perm])

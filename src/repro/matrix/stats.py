@@ -1,0 +1,72 @@
+"""Structural statistics of a sparse matrix — the columns of Table 1.
+
+Table 1 of the paper lists, per matrix: number of rows/cols (all test
+matrices are square), total number of nonzeros, and the min / max / average
+number of nonzeros per row/col.  ``avg`` in the paper is exactly
+``nnz / rows``; ``min`` and ``max`` are taken over both the row counts and
+the column counts (the matrices are structurally nonsymmetric, so the two
+directions differ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["MatrixStats", "matrix_stats"]
+
+
+@dataclass(frozen=True)
+class MatrixStats:
+    """Structural summary used throughout the benchmark harness."""
+
+    name: str
+    rows: int
+    cols: int
+    nnz: int
+    min_per_rowcol: int
+    max_per_rowcol: int
+    avg_per_rowcol: float
+    nnz_diag: int
+
+    def table1_row(self) -> str:
+        """Format as a row of the paper's Table 1."""
+        return (
+            f"{self.name:<12} {self.rows:>9} {self.nnz:>9} "
+            f"{self.min_per_rowcol:>4} {self.max_per_rowcol:>5} "
+            f"{self.avg_per_rowcol:>7.2f}"
+        )
+
+
+def matrix_stats(a: sp.spmatrix, name: str = "") -> MatrixStats:
+    """Compute :class:`MatrixStats` for a (square or rectangular) matrix.
+
+    Structural zeros that are explicitly stored are eliminated first so the
+    counts reflect the true sparsity pattern.
+    """
+    a = sp.csr_matrix(a)
+    a.eliminate_zeros()
+    rows, cols = a.shape
+    row_counts = np.diff(a.indptr)
+    col_counts = np.bincount(a.indices, minlength=cols)
+    # rows/cols with zero entries still count toward the minimum: an empty
+    # row genuinely has 0 nonzeros.  The paper's matrices have min >= 1.
+    if rows and cols:
+        min_rc = int(min(row_counts.min(), col_counts.min()))
+        max_rc = int(max(row_counts.max(), col_counts.max()))
+    else:
+        min_rc = max_rc = 0
+    avg = a.nnz / rows if rows else 0.0
+    ndiag = int(np.count_nonzero(a.diagonal())) if rows == cols else 0
+    return MatrixStats(
+        name=name,
+        rows=rows,
+        cols=cols,
+        nnz=int(a.nnz),
+        min_per_rowcol=min_rc,
+        max_per_rowcol=max_rc,
+        avg_per_rowcol=float(avg),
+        nnz_diag=ndiag,
+    )

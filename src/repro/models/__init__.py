@@ -1,0 +1,40 @@
+"""Baseline decomposition models the paper compares against, plus the
+reduction-problem generalization.
+
+* :mod:`~repro.models.onedim` — the 1D column-net / row-net hypergraph
+  models of Çatalyürek & Aykanat (TPDS 1999);
+* :mod:`~repro.models.graph_model` — the standard graph model partitioned
+  with the MeTiS-analogue graph partitioner;
+* :mod:`~repro.models.reduction` — generic parallel-reduction decomposition
+  with optionally pre-assigned inputs/outputs (fixed part vertices, §3).
+"""
+
+from repro.models.onedim import (
+    OneDimModel,
+    build_columnnet_model,
+    build_rownet_model,
+)
+from repro.models.graph_model import GraphModel, build_standard_graph_model
+from repro.models.reduction import ReductionProblem, build_reduction_hypergraph
+from repro.models.checkerboard import (
+    decompose_2d_checkerboard,
+    processor_grid,
+    balanced_stripes,
+)
+from repro.models.jagged import decompose_2d_jagged
+from repro.models.mondriaan import decompose_2d_mondriaan
+
+__all__ = [
+    "OneDimModel",
+    "build_columnnet_model",
+    "build_rownet_model",
+    "GraphModel",
+    "build_standard_graph_model",
+    "ReductionProblem",
+    "build_reduction_hypergraph",
+    "decompose_2d_checkerboard",
+    "processor_grid",
+    "balanced_stripes",
+    "decompose_2d_jagged",
+    "decompose_2d_mondriaan",
+]

@@ -1,0 +1,128 @@
+"""Generic parallel-reduction decomposition (§1 and §3 of the paper).
+
+Matrix–vector multiplication is one instance of a *reduction*: inputs
+``x_1..x_n`` are mapped through atomic tasks into outputs ``y_1..y_m``,
+every output accumulating the results of the tasks that feed it.  The
+fine-grain construction generalizes verbatim:
+
+* one vertex per atomic task (unit weight);
+* one *input net* per input, pinning the tasks that consume it (expand);
+* one *output net* per output, pinning the tasks that feed it (fold).
+
+Without the symmetric-partitioning requirement no consistency device is
+needed (§3): cutsize Eq. 3 already equals communication volume when each
+input/output is assigned to any part in its net's connectivity set.
+
+When inputs or outputs are **pre-assigned** to processors, the paper's
+recipe is followed: one zero-weight *fixed part vertex* is added per part,
+pinned into the nets of the elements pre-assigned to that part, and fixed
+there during partitioning (the partitioner's fixed-vertex support).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro._util import INDEX_DTYPE, prefix_from_counts
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["ReductionProblem", "build_reduction_hypergraph"]
+
+
+@dataclass(frozen=True)
+class ReductionProblem:
+    """A reduction instance: which inputs/outputs each task touches."""
+
+    n_inputs: int
+    n_outputs: int
+    #: per task: indices of the inputs it reads
+    task_inputs: tuple[tuple[int, ...], ...]
+    #: per task: indices of the outputs it feeds
+    task_outputs: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        for ins in self.task_inputs:
+            for i in ins:
+                if not (0 <= i < self.n_inputs):
+                    raise ValueError(f"input index {i} out of range")
+        for outs in self.task_outputs:
+            for o in outs:
+                if not (0 <= o < self.n_outputs):
+                    raise ValueError(f"output index {o} out of range")
+        if len(self.task_inputs) != len(self.task_outputs):
+            raise ValueError("task_inputs and task_outputs must align")
+
+    @property
+    def n_tasks(self) -> int:
+        """Number of atomic tasks."""
+        return len(self.task_inputs)
+
+
+def build_reduction_hypergraph(
+    problem: ReductionProblem,
+    k: int | None = None,
+    input_assignment: Sequence[int] | None = None,
+    output_assignment: Sequence[int] | None = None,
+) -> tuple[Hypergraph, np.ndarray]:
+    """Fine-grain hypergraph of a reduction problem.
+
+    Returns ``(h, task_vertex_ids)``.  Net ordering: output nets first
+    (``[0, n_outputs)``), then input nets (``[n_outputs, n_outputs +
+    n_inputs)``) — mirroring the row-nets-then-column-nets layout of the
+    matrix model.
+
+    When ``input_assignment`` / ``output_assignment`` pre-assign elements to
+    parts (entries in ``[0, k)``, or -1 for free), K fixed *part vertices*
+    are appended (zero weight, fixed to their part) and pinned into the nets
+    of the pre-assigned elements; ``h.fixed`` carries the pre-assignment for
+    :func:`repro.partitioner.partition_hypergraph`.
+    """
+    nt = problem.n_tasks
+    n_out, n_in = problem.n_outputs, problem.n_inputs
+    pre = input_assignment is not None or output_assignment is not None
+    if pre and (k is None or k < 1):
+        raise ValueError("k is required when elements are pre-assigned")
+
+    nv = nt + (k if pre else 0)
+    netlists: list[list[int]] = [[] for _ in range(n_out + n_in)]
+    for t in range(nt):
+        for o in problem.task_outputs[t]:
+            netlists[o].append(t)
+        for i in problem.task_inputs[t]:
+            netlists[n_out + i].append(t)
+
+    fixed = None
+    if pre:
+        fixed = np.full(nv, -1, dtype=INDEX_DTYPE)
+        for p in range(k):
+            fixed[nt + p] = p
+        if output_assignment is not None:
+            for o, p in enumerate(output_assignment):
+                if p >= 0:
+                    if p >= k:
+                        raise ValueError("output assignment out of range")
+                    netlists[o].append(nt + p)
+        if input_assignment is not None:
+            for i, p in enumerate(input_assignment):
+                if p >= 0:
+                    if p >= k:
+                        raise ValueError("input assignment out of range")
+                    netlists[n_out + i].append(nt + p)
+
+    # deduplicate pins (a task may list the same input twice)
+    netlists = [sorted(set(pins)) for pins in netlists]
+    counts = [len(p) for p in netlists]
+    xpins = prefix_from_counts(counts)
+    pins = (
+        np.concatenate([np.asarray(p, dtype=INDEX_DTYPE) for p in netlists if p])
+        if any(counts)
+        else np.empty(0, dtype=INDEX_DTYPE)
+    )
+    weights = np.ones(nv, dtype=INDEX_DTYPE)
+    if pre:
+        weights[nt:] = 0
+    h = Hypergraph(nv, xpins, pins, vertex_weights=weights, fixed=fixed)
+    return h, np.arange(nt, dtype=INDEX_DTYPE)

@@ -1,0 +1,65 @@
+"""Multilevel bisection: coarsen → initial partition → uncoarsen + refine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.partitioner.coarsen import coarsen, coarsen_restricted
+from repro.partitioner.config import PartitionerConfig
+from repro.partitioner.initial import initial_bisection
+from repro.partitioner.refine import fm_refine_bisection
+
+__all__ = ["multilevel_bisect"]
+
+
+def multilevel_bisect(
+    h: Hypergraph,
+    targets: tuple[int, int],
+    epsilon: float,
+    cfg: PartitionerConfig,
+    rng: np.random.Generator | int | None = None,
+    fixed: np.ndarray | None = None,
+) -> tuple[np.ndarray, int]:
+    """Bisect *h* into parts with target weights ``targets`` and per-side
+    slack ``epsilon``; returns ``(part01, cut)``.
+
+    ``fixed`` optionally pins vertices to side 0 or 1 (-1 = free).  After
+    the first multilevel pass, ``cfg.n_vcycles`` additional V-cycles
+    re-coarsen the hypergraph with matching restricted to the current sides
+    and refine again — each cycle can only improve the cut.
+    """
+    rng = as_rng(rng)
+    t0, t1 = int(targets[0]), int(targets[1])
+    max_weights = (int(t0 * (1.0 + epsilon)), int(t1 * (1.0 + epsilon)))
+
+    levels, coarsest, coarsest_fixed = coarsen(h, cfg, rng, fixed)
+    part = initial_bisection(
+        coarsest, (t0, t1), max_weights, cfg, rng, coarsest_fixed
+    )
+    part, cut = fm_refine_bisection(
+        coarsest, part, max_weights, cfg, rng, coarsest_fixed
+    )
+    for level in reversed(levels):
+        part = part[level.cmap]  # project onto the finer hypergraph
+        part, cut = fm_refine_bisection(
+            level.fine, part, max_weights, cfg, rng, level.fixed
+        )
+
+    for _ in range(cfg.n_vcycles if cfg.matching != "none" else 0):
+        vlevels, vcoarsest, vfixed, vpart = coarsen_restricted(
+            h, cfg, rng, part, fixed
+        )
+        vpart, vcut = fm_refine_bisection(
+            vcoarsest, vpart, max_weights, cfg, rng, vfixed
+        )
+        for level in reversed(vlevels):
+            vpart = vpart[level.cmap]
+            vpart, vcut = fm_refine_bisection(
+                level.fine, vpart, max_weights, cfg, rng, level.fixed
+            )
+        if vcut >= cut:
+            break  # converged; further cycles would only re-discover this
+        part, cut = vpart, vcut
+    return part, cut

@@ -1,0 +1,308 @@
+"""Coarsening phase: randomized agglomerative matching + coarse build.
+
+Two matching schemes from PaToH are implemented:
+
+* **HCM** (heavy connectivity matching): visits vertices in random order and
+  pairs each unmatched vertex with the unmatched neighbour sharing the
+  largest total net-connectivity score ``sum c_n / (|n| - 1)``.
+* **HCC** (heavy connectivity clustering, PaToH's default): like HCM but a
+  vertex may also be *absorbed* into an already-formed cluster, which copes
+  much better with the star-like structures of matrices with dense
+  rows/columns.
+
+After matching, the coarse hypergraph is built by mapping pins through the
+cluster map, removing duplicate pins, discarding single-pin nets (they can
+never be cut) and merging identical nets while summing their costs — the
+standard transformations that preserve the attainable cutsize exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import INDEX_DTYPE, as_rng, prefix_from_counts
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.partitioner.config import PartitionerConfig
+
+__all__ = ["match_vertices", "build_coarse", "coarsen_level", "CoarseLevel", "coarsen"]
+
+
+def match_vertices(
+    h: Hypergraph,
+    rng: np.random.Generator,
+    scheme: str = "hcc",
+    max_net_size: int = 300,
+    max_cluster_weight: int | None = None,
+    fixed: np.ndarray | None = None,
+    part: np.ndarray | None = None,
+) -> tuple[np.ndarray, int, np.ndarray]:
+    """Cluster vertices; returns ``(cmap, n_clusters, coarse_fixed)``.
+
+    ``cmap[v]`` is the coarse vertex id of ``v``.  ``coarse_fixed`` carries
+    pre-assignments onto clusters (a cluster may only contain vertices fixed
+    to the same part, or free vertices).
+
+    When *part* is given (V-cycle restricted coarsening), vertices only
+    cluster with vertices of the same part, so the partition projects
+    exactly onto the coarse hypergraph.
+    """
+    nv = h.num_vertices
+    if max_cluster_weight is None:
+        max_cluster_weight = max(int(h.total_vertex_weight()), 1)
+    hcm = scheme == "hcm"
+    part_l = part.tolist() if part is not None else None
+
+    # plain-list views for the per-vertex scoring loop
+    xnets = h.xnets.tolist()
+    vnets = h.vnets.tolist()
+    xpins = h.xpins.tolist()
+    pins = h.pins.tolist()
+    w = h.vertex_weights.tolist()
+    costs = h.net_costs.tolist()
+    fix = fixed.tolist() if fixed is not None else None
+
+    cluster: list[int] = [-1] * nv
+    cweight: list[int] = []
+    cfixed: list[int] = []
+
+    # flat score accumulator: positive increments only, so score == 0.0
+    # doubles as the "untouched" marker (cheaper than a dict by ~2x on the
+    # profile; see DESIGN.md performance notes)
+    score: list[float] = [0.0] * nv
+    touched: list[int] = []
+
+    order = rng.permutation(nv)
+    for v in order:
+        v = int(v)
+        if cluster[v] != -1:
+            continue
+        fv = fix[v] if fix is not None else -1
+        touched.clear()
+        for t in range(xnets[v], xnets[v + 1]):
+            n = vnets[t]
+            lo, hi = xpins[n], xpins[n + 1]
+            sz = hi - lo
+            if sz < 2 or sz > max_net_size:
+                continue
+            sc = costs[n] / (sz - 1)
+            for j in range(lo, hi):
+                u = pins[j]
+                if u != v:
+                    if score[u] == 0.0:
+                        touched.append(u)
+                    score[u] += sc
+        best_u = -1
+        best_s = 0.0
+        wv = w[v]
+        pv = part_l[v] if part_l is not None else -1
+        for u in touched:
+            s = score[u]
+            score[u] = 0.0
+            if s <= best_s:
+                continue
+            if part_l is not None and part_l[u] != pv:
+                continue  # restricted (V-cycle) coarsening: stay in-part
+            cu = cluster[u]
+            if hcm and cu != -1:
+                continue  # pure matching never grows a cluster
+            tw = (cweight[cu] if cu != -1 else w[u]) + wv
+            if tw > max_cluster_weight:
+                continue
+            fu = cfixed[cu] if cu != -1 else (fix[u] if fix is not None else -1)
+            if fv != -1 and fu != -1 and fu != fv:
+                continue
+            best_u, best_s = u, s
+        if best_u == -1:
+            cluster[v] = len(cweight)
+            cweight.append(wv)
+            cfixed.append(fv)
+        else:
+            cu = cluster[best_u]
+            if cu == -1:
+                cu = len(cweight)
+                cweight.append(w[best_u])
+                cfixed.append(fix[best_u] if fix is not None else -1)
+                cluster[best_u] = cu
+            cluster[v] = cu
+            cweight[cu] += wv
+            if fv != -1:
+                cfixed[cu] = fv
+
+    cmap = np.asarray(cluster, dtype=INDEX_DTYPE)
+    return cmap, len(cweight), np.asarray(cfixed, dtype=INDEX_DTYPE)
+
+
+def build_coarse(h: Hypergraph, cmap: np.ndarray, n_clusters: int) -> Hypergraph:
+    """Contract *h* along *cmap*.
+
+    Duplicate pins inside a net are collapsed, single-pin nets dropped, and
+    identical nets merged with summed costs.  These transformations change
+    neither the cutsize of any partition nor the balance (cluster weights
+    are the sums of member weights).
+    """
+    cw = np.bincount(cmap, weights=h.vertex_weights, minlength=n_clusters).astype(
+        INDEX_DTYPE
+    )
+    if h.num_pins == 0:
+        return Hypergraph(
+            n_clusters,
+            np.zeros(1, dtype=INDEX_DTYPE),
+            np.empty(0, dtype=INDEX_DTYPE),
+            vertex_weights=cw,
+            net_costs=np.empty(0, dtype=INDEX_DTYPE),
+            validate=False,
+        )
+
+    net_of_pin = np.repeat(np.arange(h.num_nets, dtype=INDEX_DTYPE), np.diff(h.xpins))
+    key = net_of_pin * n_clusters + cmap[h.pins]
+    uniq = np.unique(key)  # sorted -> pins sorted within each net
+    knet = uniq // n_clusters
+    kpin = uniq % n_clusters
+    sizes = np.bincount(knet, minlength=h.num_nets)
+    starts = prefix_from_counts(sizes)
+
+    new_pins_chunks: list[np.ndarray] = []
+    new_costs: list[int] = []
+    counts: list[int] = []
+    seen: dict[bytes, int] = {}
+    costs = h.net_costs
+    for n in range(h.num_nets):
+        lo, hi = starts[n], starts[n + 1]
+        if hi - lo < 2:
+            continue
+        seg = kpin[lo:hi]
+        bkey = seg.tobytes()
+        idx = seen.get(bkey)
+        if idx is None:
+            seen[bkey] = len(new_costs)
+            new_costs.append(int(costs[n]))
+            counts.append(hi - lo)
+            new_pins_chunks.append(seg)
+        else:
+            new_costs[idx] += int(costs[n])
+
+    xpins = prefix_from_counts(counts)
+    pins = (
+        np.concatenate(new_pins_chunks)
+        if new_pins_chunks
+        else np.empty(0, dtype=INDEX_DTYPE)
+    )
+    return Hypergraph(
+        n_clusters,
+        xpins,
+        pins,
+        vertex_weights=cw,
+        net_costs=np.asarray(new_costs, dtype=INDEX_DTYPE),
+        validate=False,
+    )
+
+
+class CoarseLevel:
+    """One level of the multilevel hierarchy: the finer hypergraph together
+    with the map onto the next-coarser one."""
+
+    __slots__ = ("fine", "cmap", "fixed")
+
+    def __init__(self, fine: Hypergraph, cmap: np.ndarray, fixed: np.ndarray | None):
+        self.fine = fine
+        self.cmap = cmap
+        self.fixed = fixed  # fixed01 of the FINE hypergraph (or None)
+
+
+def coarsen_level(
+    h: Hypergraph,
+    cfg: PartitionerConfig,
+    rng: np.random.Generator,
+    max_cluster_weight: int,
+    fixed: np.ndarray | None,
+    part: np.ndarray | None = None,
+) -> tuple[Hypergraph, np.ndarray, np.ndarray | None]:
+    """One coarsening step; returns ``(coarse_h, cmap, coarse_fixed)``."""
+    cmap, nc, cfix = match_vertices(
+        h,
+        rng,
+        scheme=cfg.matching,
+        max_net_size=cfg.max_net_size_coarsen,
+        max_cluster_weight=max_cluster_weight,
+        fixed=fixed,
+        part=part,
+    )
+    hc = build_coarse(h, cmap, nc)
+    coarse_fixed = cfix if fixed is not None else None
+    return hc, cmap, coarse_fixed
+
+
+def coarsen(
+    h: Hypergraph,
+    cfg: PartitionerConfig,
+    rng: np.random.Generator,
+    fixed: np.ndarray | None = None,
+) -> tuple[list[CoarseLevel], Hypergraph, np.ndarray | None]:
+    """Build the full coarsening hierarchy for one bisection.
+
+    Returns ``(levels, coarsest, coarsest_fixed)`` where ``levels[i].fine``
+    is the hypergraph at level *i* (level 0 = input) and
+    ``levels[i].cmap`` maps its vertices onto level *i+1*.
+    """
+    levels: list[CoarseLevel] = []
+    cur = h
+    cur_fixed = fixed
+    if cfg.matching == "none":
+        return levels, cur, cur_fixed
+    total = max(h.total_vertex_weight(), 1)
+    # a cluster may not exceed what a perfectly balanced coarsest part could
+    # absorb; this keeps the coarsest instance bisectable
+    max_cluster_weight = max(total // max(cfg.coarsen_to // 2, 1), 1)
+    for _ in range(cfg.max_coarsen_levels):
+        if cur.num_vertices <= cfg.coarsen_to:
+            break
+        hc, cmap, cfix = coarsen_level(cur, cfg, rng, max_cluster_weight, cur_fixed)
+        if hc.num_vertices >= cfg.min_coarsen_shrink * cur.num_vertices:
+            break  # stagnated; further levels would waste time
+        levels.append(CoarseLevel(cur, cmap, cur_fixed))
+        cur = hc
+        cur_fixed = cfix
+    return levels, cur, cur_fixed
+
+
+def coarsen_restricted(
+    h: Hypergraph,
+    cfg: PartitionerConfig,
+    rng: np.random.Generator,
+    part: np.ndarray,
+    fixed: np.ndarray | None = None,
+) -> tuple[list[CoarseLevel], Hypergraph, np.ndarray | None, np.ndarray]:
+    """V-cycle coarsening: like :func:`coarsen` but clustering only within
+    the parts of *part*, so the bisection projects exactly.
+
+    Returns ``(levels, coarsest, coarsest_fixed, coarsest_part)``.
+    """
+    levels: list[CoarseLevel] = []
+    cur = h
+    cur_fixed = fixed
+    cur_part = np.asarray(part, dtype=INDEX_DTYPE)
+    total = max(h.total_vertex_weight(), 1)
+    max_cluster_weight = max(total // max(cfg.coarsen_to // 2, 1), 1)
+    for _ in range(cfg.max_coarsen_levels):
+        if cur.num_vertices <= cfg.coarsen_to:
+            break
+        cmap, nc, cfix = match_vertices(
+            cur,
+            rng,
+            scheme=cfg.matching if cfg.matching != "none" else "hcc",
+            max_net_size=cfg.max_net_size_coarsen,
+            max_cluster_weight=max_cluster_weight,
+            fixed=cur_fixed,
+            part=cur_part,
+        )
+        hc = build_coarse(cur, cmap, nc)
+        if hc.num_vertices >= cfg.min_coarsen_shrink * cur.num_vertices:
+            break
+        # project: all members of a cluster share a part by construction
+        coarse_part = np.empty(nc, dtype=INDEX_DTYPE)
+        coarse_part[cmap] = cur_part
+        levels.append(CoarseLevel(cur, cmap, cur_fixed))
+        cur = hc
+        cur_fixed = cfix if cur_fixed is not None else None
+        cur_part = coarse_part
+    return levels, cur, cur_fixed, cur_part

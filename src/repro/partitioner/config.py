@@ -1,0 +1,71 @@
+"""Configuration of the multilevel hypergraph partitioner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["PartitionerConfig"]
+
+
+@dataclass(frozen=True)
+class PartitionerConfig:
+    """Tuning knobs of :func:`repro.partitioner.partition_hypergraph`.
+
+    The defaults mirror the paper's experimental setup where it specifies
+    one (``epsilon = 0.03``: "percent load imbalance values are below 3%")
+    and PaToH's defaults in spirit elsewhere.
+    """
+
+    #: maximum allowed imbalance ratio of Eq. 1 (paper: 3%)
+    epsilon: float = 0.03
+    #: coarsening stops when the hypergraph has at most this many vertices
+    coarsen_to: int = 120
+    #: hard cap on the number of coarsening levels per bisection
+    max_coarsen_levels: int = 30
+    #: stop coarsening when one level shrinks the vertex count by less than
+    #: this factor (stagnation guard)
+    min_coarsen_shrink: float = 0.95
+    #: matching scheme: "hcc" (agglomerative clusters, PaToH default),
+    #: "hcm" (pairwise matching) or "none" (no coarsening; flat FM)
+    matching: str = "hcc"
+    #: nets larger than this are ignored while scoring matches (they carry
+    #: almost no locality signal and dominate the runtime)
+    max_net_size_coarsen: int = 300
+    #: number of initial-partitioning starts; the best bisection is kept
+    n_initial_starts: int = 5
+    #: maximum FM passes per uncoarsening level
+    fm_passes: int = 3
+    #: an FM pass aborts after this many consecutive non-improving moves
+    #: (hill-climbing window); scaled fraction of free vertices
+    fm_stall_frac: float = 0.25
+    #: absolute floor for the stall window
+    fm_stall_min: int = 50
+    #: vertex-count threshold above which FM seeds its buckets with boundary
+    #: vertices only (full seeding below)
+    fm_boundary_threshold: int = 4096
+    #: extra V-cycles per bisection: after the first multilevel pass, the
+    #: bisected hypergraph is re-coarsened with matching restricted to the
+    #: parts and refined again (PaToH-style V-cycle refinement); 0 disables
+    n_vcycles: int = 1
+    #: run a final direct K-way greedy refinement after recursive bisection
+    kway_refine: bool = False
+    #: passes of the direct K-way refinement
+    kway_passes: int = 2
+    #: independent multi-start runs of the whole pipeline; best cut wins
+    n_runs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if self.matching not in ("hcc", "hcm", "none"):
+            raise ValueError(f"unknown matching scheme {self.matching!r}")
+        if self.coarsen_to < 2:
+            raise ValueError("coarsen_to must be at least 2")
+        if self.n_initial_starts < 1 or self.n_runs < 1:
+            raise ValueError("n_initial_starts and n_runs must be >= 1")
+        if self.n_vcycles < 0:
+            raise ValueError("n_vcycles must be >= 0")
+
+    def with_(self, **kwargs) -> "PartitionerConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)

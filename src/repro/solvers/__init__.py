@@ -1,0 +1,24 @@
+"""Iterative solvers running on decomposed matrices.
+
+§1 of the paper: "Repeated matrix-vector multiplication y = Ax ... is the
+kernel operation in iterative solvers.  These algorithms also involve
+linear operations on dense vectors.  In order to avoid the communication
+of vector components during the linear vector operations, a symmetric
+partitioning scheme is adopted."
+
+This package realizes that setting: Krylov and stationary solvers whose
+every multiply goes through the distributed simulator, with an exact
+running account of the communication the decomposition costs them.  The
+vector operations (axpy, dot) are free of vector-component communication
+precisely because the decompositions are symmetric — dots need only a
+scalar all-reduce, which the accounting tracks separately.
+"""
+
+from repro.solvers.iterative import (
+    SolveResult,
+    conjugate_gradient,
+    jacobi,
+    power_iteration,
+)
+
+__all__ = ["SolveResult", "conjugate_gradient", "jacobi", "power_iteration"]

@@ -1,0 +1,37 @@
+"""Symbolic distributed sparse matrix-vector multiply.
+
+Simulates the paper's parallel SpMV on K virtual processors in the three
+canonical phases:
+
+1. **expand** (pre-communication): the owner of ``x_j`` sends it to every
+   processor holding a nonzero in column *j*;
+2. **local multiply**: each processor computes its scalar products and
+   row-partial sums;
+3. **fold** (post-communication): processors holding partials of row *i*
+   send them to the owner of ``y_i``, which accumulates the final value.
+
+The simulator counts every transmitted word and message exactly
+(:class:`~repro.spmv.stats.CommStats`) and also executes the arithmetic so
+the distributed result can be checked against the serial product — the
+measurement instrument behind the paper's Table 2.
+"""
+
+from repro.spmv.stats import CommStats
+from repro.spmv.simulator import SpmvResult, simulate_spmv, communication_stats
+from repro.spmv.costmodel import MachineModel, estimate_parallel_time
+from repro.spmv.plan import CommPlan, ProcessorPlan, build_comm_plan, execute_plan
+from repro.spmv.parallel import parallel_spmv
+
+__all__ = [
+    "CommStats",
+    "SpmvResult",
+    "simulate_spmv",
+    "communication_stats",
+    "MachineModel",
+    "estimate_parallel_time",
+    "CommPlan",
+    "ProcessorPlan",
+    "build_comm_plan",
+    "execute_plan",
+    "parallel_spmv",
+]

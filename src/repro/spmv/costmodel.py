@@ -1,0 +1,66 @@
+"""A simple alpha-beta machine model for estimated parallel SpMV time.
+
+The paper reports communication *volume* and *message counts* separately
+because their relative importance depends on the machine: on a
+high-latency network messages dominate, on a high-bandwidth one volume
+does.  This module combines the simulator's exact counts under the
+standard linear (postal / alpha-beta) model so users can rank
+decompositions for a concrete machine — an extension beyond the paper's
+tables, useful for the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.spmv.stats import CommStats
+
+__all__ = ["MachineModel", "estimate_parallel_time"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Linear cost model parameters.
+
+    Defaults are loosely calibrated to a late-1990s MPP of the kind the
+    paper targets (per-message latency dominating per-word cost by ~3
+    orders of magnitude).
+    """
+
+    #: seconds per scalar multiply-add
+    t_flop: float = 100e-9
+    #: per-message startup latency (seconds)
+    alpha: float = 50e-6
+    #: per-word transfer time (seconds)
+    beta: float = 100e-9
+
+    def __post_init__(self) -> None:
+        if min(self.t_flop, self.alpha, self.beta) < 0:
+            raise ValueError("machine parameters must be non-negative")
+
+
+def estimate_parallel_time(stats: CommStats, machine: MachineModel | None = None) -> float:
+    """Estimated wall-clock time of one distributed SpMV.
+
+    Each phase is bounded by its busiest processor::
+
+        T = max_p(2 * compute_p) * t_flop
+          + alpha * (max_p expand msgs_p + max_p fold msgs_p)
+          + beta  * (max_p expand words_p + max_p fold words_p)
+
+    where a processor's per-phase words count sends plus receives (it must
+    touch both) and msgs count sends plus receives likewise.
+    """
+    m = machine or MachineModel()
+    compute = 2.0 * float(stats.compute.max(initial=0)) * m.t_flop
+    expand_words = (stats.expand_sent + stats.expand_recv).max(initial=0)
+    fold_words = (stats.fold_sent + stats.fold_recv).max(initial=0)
+    # received message counts per processor: reconstructed from symmetry of
+    # totals is impossible, so approximate receives by sends (the counts
+    # are equal in aggregate); this keeps the model monotone in both knobs
+    expand_msgs = stats.expand_msgs.max(initial=0)
+    fold_msgs = stats.fold_msgs.max(initial=0)
+    comm = m.alpha * float(expand_msgs + fold_msgs) + m.beta * float(
+        expand_words + fold_words
+    )
+    return compute + comm

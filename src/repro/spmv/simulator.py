@@ -1,0 +1,188 @@
+"""The distributed-SpMV simulator.
+
+Fully vectorized: phases are computed from unique (element, processor)
+incidence pairs rather than per-message Python loops, so simulating a
+million-nonzero decomposition takes milliseconds.  An optional message
+*ledger* materializes the individual messages for inspection and for the
+example scripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import INDEX_DTYPE
+from repro.core.decomposition import Decomposition
+from repro.spmv.stats import CommStats
+
+__all__ = ["SpmvResult", "simulate_spmv", "communication_stats", "Message"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message of a simulated phase."""
+
+    phase: str  # "expand" | "fold"
+    src: int
+    dst: int
+    #: element indices carried (column ids for expand, row ids for fold)
+    elements: tuple[int, ...]
+
+    @property
+    def words(self) -> int:
+        """Message size in words."""
+        return len(self.elements)
+
+
+@dataclass(frozen=True)
+class SpmvResult:
+    """Everything the simulator observed for one multiply."""
+
+    y: np.ndarray
+    stats: CommStats
+    messages: tuple[Message, ...] | None
+
+
+def _phase(
+    elem: np.ndarray,
+    elem_owner_of_pairs: np.ndarray,
+    holder: np.ndarray,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shared expand/fold accounting.
+
+    ``elem``/``holder``: for every unique (element, processor) incidence,
+    the element id and the processor that holds a piece of it.
+    ``elem_owner_of_pairs``: the owner processor of each pair's element.
+    Returns per-processor (sent, recv, msgs) plus the (src, dst) arrays of
+    the individual transfers.
+    """
+    need = holder != elem_owner_of_pairs
+    src = elem_owner_of_pairs[need]
+    dst = holder[need]
+    sent = np.bincount(src, minlength=k).astype(INDEX_DTYPE)
+    recv = np.bincount(dst, minlength=k).astype(INDEX_DTYPE)
+    pair_key = src * k + dst
+    uniq = np.unique(pair_key)
+    msgs = np.bincount((uniq // k), minlength=k).astype(INDEX_DTYPE)
+    return sent, recv, msgs, src, dst
+
+
+def communication_stats(dec: Decomposition) -> CommStats:
+    """Exact communication statistics of *dec* (no arithmetic performed)."""
+    k, m = dec.k, dec.m
+
+    # expand: processors holding a nonzero of column j need x_j
+    col_pairs = np.unique(dec.nnz_col * k + dec.nnz_owner)
+    e_elem = col_pairs // k
+    e_holder = col_pairs % k
+    e_owner = dec.x_owner[e_elem]
+    e_sent, e_recv, e_msgs, _, _ = _phase(e_elem, e_owner, e_holder, k)
+
+    # fold: processors holding a nonzero of row i produce a partial y_i
+    row_pairs = np.unique(dec.nnz_row * k + dec.nnz_owner)
+    f_elem = row_pairs // k
+    f_holder = row_pairs % k
+    f_owner = dec.y_owner[f_elem]
+    # fold flows the opposite way round: holders send to the owner, so the
+    # "sender" argument of _phase is the holder side
+    f_sent, f_recv, f_msgs, _, _ = _phase(f_elem, f_holder, f_owner, k)
+
+    compute = np.bincount(dec.nnz_owner, minlength=k).astype(INDEX_DTYPE)
+    return CommStats(
+        k=k,
+        m=m,
+        expand_sent=e_sent,
+        expand_recv=e_recv,
+        expand_msgs=e_msgs,
+        fold_sent=f_sent,
+        fold_recv=f_recv,
+        fold_msgs=f_msgs,
+        compute=compute,
+    )
+
+
+def simulate_spmv(
+    dec: Decomposition,
+    x: np.ndarray | None = None,
+    collect_messages: bool = False,
+    rng: np.random.Generator | None = None,
+) -> SpmvResult:
+    """Execute one distributed ``y = A x`` and account every message.
+
+    The arithmetic is performed with the same data movement a real
+    message-passing implementation would use: local partial products are
+    reduced per (row, owner) group, then cross-processor partials are
+    summed at the row's owner in ascending processor order (a deterministic
+    reduction order, so the result is reproducible bit-for-bit).
+
+    ``x`` defaults to a random vector.  Returns the assembled global ``y``.
+    """
+    k, m = dec.k, dec.m
+    if x is None:
+        rng = rng or np.random.default_rng(0)
+        x = rng.standard_normal(dec.n)
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (dec.n,):
+        raise ValueError("x has wrong shape")
+
+    stats = communication_stats(dec)
+
+    # local multiply: partial_{i,p} = sum of a_ij x_j over nonzeros owned
+    # by p in row i -> grouped reduction keyed by (row, owner)
+    key = dec.nnz_row * k + dec.nnz_owner
+    prod = dec.nnz_val * x[dec.nnz_col]
+    order = np.argsort(key, kind="stable")
+    key_s = key[order]
+    prod_s = prod[order]
+    if len(key_s):
+        new_group = np.empty(len(key_s), dtype=bool)
+        new_group[0] = True
+        new_group[1:] = key_s[1:] != key_s[:-1]
+        gidx = np.cumsum(new_group) - 1
+        partial = np.zeros(int(gidx[-1]) + 1, dtype=np.float64)
+        np.add.at(partial, gidx, prod_s)
+        group_key = key_s[new_group]
+        g_row = group_key // k
+        g_proc = group_key % k
+    else:
+        partial = np.zeros(0, dtype=np.float64)
+        g_row = g_proc = np.zeros(0, dtype=INDEX_DTYPE)
+
+    # fold: sum partials per row; the sort above already orders partials of
+    # a row by ascending processor id, which is our documented reduction
+    # order at the owner
+    y = np.zeros(m, dtype=np.float64)
+    np.add.at(y, g_row, partial)
+
+    messages = None
+    if collect_messages:
+        messages = tuple(_build_ledger(dec, g_row, g_proc, k))
+    return SpmvResult(y=y, stats=stats, messages=messages)
+
+
+def _build_ledger(
+    dec: Decomposition, g_row: np.ndarray, g_proc: np.ndarray, k: int
+):
+    """Materialize individual messages (for examples/inspection)."""
+    # expand messages
+    col_pairs = np.unique(dec.nnz_col * k + dec.nnz_owner)
+    e_elem = col_pairs // k
+    e_holder = (col_pairs % k).astype(int)
+    e_owner = dec.x_owner[e_elem].astype(int)
+    buckets: dict[tuple[int, int], list[int]] = {}
+    for j, src, dst in zip(e_elem, e_owner, e_holder):
+        if src != dst:
+            buckets.setdefault((src, dst), []).append(int(j))
+    for (src, dst), elems in sorted(buckets.items()):
+        yield Message("expand", src, dst, tuple(elems))
+    # fold messages
+    buckets = {}
+    owners = dec.y_owner[g_row].astype(int)
+    for i, src, dst in zip(g_row, g_proc.astype(int), owners):
+        if src != dst:
+            buckets.setdefault((src, dst), []).append(int(i))
+    for (src, dst), elems in sorted(buckets.items()):
+        yield Message("fold", src, dst, tuple(elems))

@@ -1,0 +1,120 @@
+"""Communication statistics of a decomposed SpMV — the columns of Table 2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CommStats"]
+
+
+@dataclass(frozen=True)
+class CommStats:
+    """Exact per-phase communication counts of one parallel SpMV.
+
+    Conventions (documented because the paper leaves them implicit):
+
+    * a *word* is one vector element (an ``x_j`` copy or one partial
+      ``y_i``);
+    * a *message* is a distinct ordered (sender, receiver) pair within one
+      phase with at least one word;
+    * "volume handled by a processor" counts both its sends and its
+      receives (so the per-processor maxima in Table 2 sit near
+      ``2 * total / K`` for well-spread traffic);
+    * "#msgs per processor" counts *sent* messages, making the theoretical
+      bounds quoted in the paper exact: ``K - 1`` per phase, hence
+      ``K - 1`` for 1D models (one phase) and ``2(K - 1)`` for the
+      fine-grain model (both phases).
+    """
+
+    k: int
+    m: int
+    #: words sent in the expand phase, per processor
+    expand_sent: np.ndarray
+    #: words received in the expand phase, per processor
+    expand_recv: np.ndarray
+    #: expand messages sent, per processor
+    expand_msgs: np.ndarray
+    #: words sent in the fold phase, per processor
+    fold_sent: np.ndarray
+    #: words received in the fold phase, per processor
+    fold_recv: np.ndarray
+    #: fold messages sent, per processor
+    fold_msgs: np.ndarray
+    #: scalar multiplications per processor
+    compute: np.ndarray
+
+    # -- volumes -----------------------------------------------------------
+    @property
+    def expand_volume(self) -> int:
+        """Total words moved during expand."""
+        return int(self.expand_sent.sum())
+
+    @property
+    def fold_volume(self) -> int:
+        """Total words moved during fold."""
+        return int(self.fold_sent.sum())
+
+    @property
+    def total_volume(self) -> int:
+        """Total communication volume in words (expand + fold)."""
+        return self.expand_volume + self.fold_volume
+
+    @property
+    def per_processor_volume(self) -> np.ndarray:
+        """Words handled (sent + received, both phases) per processor."""
+        return (
+            self.expand_sent + self.expand_recv + self.fold_sent + self.fold_recv
+        )
+
+    @property
+    def max_volume(self) -> int:
+        """Maximum words handled by a single processor."""
+        return int(self.per_processor_volume.max(initial=0))
+
+    # -- messages ----------------------------------------------------------
+    @property
+    def total_messages(self) -> int:
+        """Total messages sent (expand + fold)."""
+        return int(self.expand_msgs.sum() + self.fold_msgs.sum())
+
+    @property
+    def avg_messages(self) -> float:
+        """Average number of messages sent by a processor."""
+        return self.total_messages / self.k if self.k else 0.0
+
+    @property
+    def max_messages(self) -> int:
+        """Maximum messages sent by a single processor."""
+        return int((self.expand_msgs + self.fold_msgs).max(initial=0))
+
+    # -- scaled (Table 2 presentation) --------------------------------------
+    @property
+    def scaled_total_volume(self) -> float:
+        """Total volume divided by the number of rows (Table 2 scaling)."""
+        return self.total_volume / self.m if self.m else 0.0
+
+    @property
+    def scaled_max_volume(self) -> float:
+        """Max per-processor volume divided by the number of rows."""
+        return self.max_volume / self.m if self.m else 0.0
+
+    # -- load --------------------------------------------------------------
+    @property
+    def load_imbalance(self) -> float:
+        """``(W_max - W_avg) / W_avg`` of the scalar-multiplication loads."""
+        total = int(self.compute.sum())
+        if total == 0:
+            return 0.0
+        avg = total / self.k
+        return float((self.compute.max() - avg) / avg)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"K={self.k} vol={self.total_volume} "
+            f"(expand {self.expand_volume} + fold {self.fold_volume}) "
+            f"maxvol={self.max_volume} avg#msgs={self.avg_messages:.2f} "
+            f"imbalance={100 * self.load_imbalance:.2f}%"
+        )

@@ -1,0 +1,113 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import strategies as st
+
+from repro.hypergraph import Hypergraph, hypergraph_from_netlists
+
+
+# ----------------------------------------------------------------------
+# deterministic example structures
+# ----------------------------------------------------------------------
+@pytest.fixture
+def tiny_hypergraph() -> Hypergraph:
+    """4 vertices, 3 nets: a path of nets [0,1] [1,2,3] [2,3]."""
+    return hypergraph_from_netlists(4, [[0, 1], [1, 2, 3], [2, 3]])
+
+
+@pytest.fixture
+def paper_figure1_matrix() -> sp.csr_matrix:
+    """A small matrix realizing the dependency relations of Figure 1.
+
+    Row i = 1 has nonzeros in columns h=0, i=1, k=2, j=3 (row net of size
+    4); column j = 3 has nonzeros in rows i=1, j=3, l=4 (column net of size
+    3) — the exact shapes discussed in §3.
+    """
+    rows = [1, 1, 1, 1, 3, 4, 0, 2]
+    cols = [0, 1, 2, 3, 3, 3, 0, 2]
+    vals = np.arange(1.0, len(rows) + 1)
+    return sp.csr_matrix((vals, (rows, cols)), shape=(5, 5))
+
+
+@pytest.fixture
+def small_sparse_matrix() -> sp.csr_matrix:
+    """A reproducible 30x30 random sparse matrix with full diagonal."""
+    rng = np.random.default_rng(42)
+    a = sp.random(30, 30, density=0.12, random_state=rng, format="lil")
+    a.setdiag(rng.uniform(0.5, 1.0, 30))
+    return sp.csr_matrix(a)
+
+
+def random_hypergraph(
+    rng: np.random.Generator,
+    nv: int,
+    nn: int,
+    max_net_size: int = 6,
+    weighted: bool = False,
+) -> Hypergraph:
+    """Random test hypergraph with non-trivial nets."""
+    nets = []
+    for _ in range(nn):
+        size = int(rng.integers(1, min(max_net_size, nv) + 1))
+        nets.append(sorted(rng.choice(nv, size=size, replace=False).tolist()))
+    weights = rng.integers(1, 4, size=nv) if weighted else None
+    costs = rng.integers(1, 3, size=nn) if weighted else None
+    return hypergraph_from_netlists(nv, nets, vertex_weights=weights, net_costs=costs)
+
+
+# ----------------------------------------------------------------------
+# hypothesis strategies
+# ----------------------------------------------------------------------
+@st.composite
+def hypergraphs(draw, max_vertices: int = 12, max_nets: int = 10, weighted: bool = False):
+    """Strategy producing small valid hypergraphs."""
+    nv = draw(st.integers(min_value=1, max_value=max_vertices))
+    nn = draw(st.integers(min_value=0, max_value=max_nets))
+    nets = []
+    for _ in range(nn):
+        size = draw(st.integers(min_value=1, max_value=nv))
+        pins = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=nv - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        nets.append(pins)
+    weights = None
+    costs = None
+    if weighted:
+        weights = draw(
+            st.lists(st.integers(0, 5), min_size=nv, max_size=nv)
+        )
+        costs = draw(
+            st.lists(st.integers(0, 4), min_size=nn, max_size=nn)
+        )
+    return hypergraph_from_netlists(nv, nets, vertex_weights=weights, net_costs=costs)
+
+
+@st.composite
+def sparse_square_matrices(draw, max_n: int = 14, ensure_some_nnz: bool = True):
+    """Strategy producing small square scipy.sparse matrices."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    density = draw(st.floats(min_value=0.05, max_value=0.6))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    a = sp.random(n, n, density=density, random_state=rng, format="csr")
+    if ensure_some_nnz and a.nnz == 0:
+        a = sp.csr_matrix(([1.0], ([0], [min(n - 1, 0)])), shape=(n, n))
+    return a
+
+
+@st.composite
+def partitions_of(draw, nv: int, k: int):
+    """Strategy producing an arbitrary part vector for nv vertices."""
+    return np.asarray(
+        draw(st.lists(st.integers(0, k - 1), min_size=nv, max_size=nv)),
+        dtype=np.int64,
+    )

@@ -1,0 +1,79 @@
+"""Tests for the decomposition analysis/reporting package."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_decomposition,
+    communication_matrix,
+    render_report,
+)
+from repro.core import build_finegrain_model, decomposition_from_finegrain
+from repro.spmv import communication_stats
+
+
+def make_dec(a, k, seed=0):
+    model = build_finegrain_model(a)
+    rng = np.random.default_rng(seed)
+    part = rng.integers(0, k, size=model.hypergraph.num_vertices)
+    return decomposition_from_finegrain(model, part, k)
+
+
+class TestCommunicationMatrix:
+    def test_row_sums_are_send_volumes(self, small_sparse_matrix):
+        dec = make_dec(small_sparse_matrix, 4)
+        cm = communication_matrix(dec)
+        stats = communication_stats(dec)
+        sends = stats.expand_sent + stats.fold_sent
+        assert np.array_equal(cm.sum(axis=1), sends)
+        recvs = stats.expand_recv + stats.fold_recv
+        assert np.array_equal(cm.sum(axis=0), recvs)
+
+    def test_zero_diagonal(self, small_sparse_matrix):
+        dec = make_dec(small_sparse_matrix, 4, seed=1)
+        cm = communication_matrix(dec)
+        assert np.all(np.diag(cm) == 0)
+
+    def test_internal_decomposition_silent(self, small_sparse_matrix):
+        model = build_finegrain_model(small_sparse_matrix)
+        part = np.zeros(model.hypergraph.num_vertices, dtype=np.int64)
+        dec = decomposition_from_finegrain(model, part, 2)
+        assert communication_matrix(dec).sum() == 0
+
+
+class TestReport:
+    def test_fields_consistent(self, small_sparse_matrix):
+        dec = make_dec(small_sparse_matrix, 4, seed=2)
+        rep = analyze_decomposition(dec)
+        assert rep.active_pairs == np.count_nonzero(rep.comm_matrix)
+        assert 0 <= rep.pair_density <= 1
+        assert 0 <= rep.send_concentration <= 1
+        assert rep.compute_profile.sum() == dec.nnz
+
+    def test_concentration_extremes(self, small_sparse_matrix):
+        dec = make_dec(small_sparse_matrix, 4, seed=3)
+        rep = analyze_decomposition(dec)
+        # balanced random decomposition: concentration should be mild
+        assert rep.send_concentration < 0.8
+
+    def test_render(self, small_sparse_matrix):
+        dec = make_dec(small_sparse_matrix, 4, seed=4)
+        text = render_report(analyze_decomposition(dec))
+        assert "communication matrix" in text
+        assert "rank |" in text
+        assert text.count("\n") > 8
+
+    def test_render_suppresses_large_matrix(self, small_sparse_matrix):
+        dec = make_dec(small_sparse_matrix, 8, seed=5)
+        text = render_report(analyze_decomposition(dec), max_matrix=4)
+        assert "communication matrix" not in text
+
+
+class TestCliAnalyze:
+    def test_analyze_command(self, capsys):
+        from repro.cli import main
+
+        rc = main(["analyze", "collection:sherman3@0.05", "-k", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "communication matrix" in out

@@ -1,0 +1,95 @@
+"""Tests for the cartesian checkerboard 2D baseline."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import balanced_stripes, decompose_2d_checkerboard, processor_grid
+from repro.spmv import communication_stats, simulate_spmv
+from tests.conftest import sparse_square_matrices
+
+
+class TestProcessorGrid:
+    @pytest.mark.parametrize(
+        "k,expected", [(1, (1, 1)), (4, (2, 2)), (16, (4, 4)), (6, (2, 3)),
+                       (12, (3, 4)), (7, (1, 7))]
+    )
+    def test_most_square(self, k, expected):
+        assert processor_grid(k) == expected
+
+    def test_product_is_k(self):
+        for k in range(1, 65):
+            r, c = processor_grid(k)
+            assert r * c == k and r <= c
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            processor_grid(0)
+
+
+class TestBalancedStripes:
+    def test_uniform_counts(self):
+        stripes = balanced_stripes(np.ones(12), 3)
+        assert stripes.tolist() == [0] * 4 + [1] * 4 + [2] * 4
+
+    def test_weighted_counts(self):
+        # one heavy index absorbs a whole stripe
+        stripes = balanced_stripes(np.array([10, 1, 1, 1, 1, 1, 1, 1, 1, 1]), 2)
+        assert stripes[0] == 0
+        assert stripes[-1] == 1
+        # contiguous & monotone
+        assert np.all(np.diff(stripes) >= 0)
+
+    def test_single_part(self):
+        assert balanced_stripes(np.ones(5), 1).tolist() == [0] * 5
+
+    def test_zero_total(self):
+        assert balanced_stripes(np.zeros(4), 2).tolist() == [0] * 4
+
+
+class TestCheckerboard:
+    def test_owner_structure(self, small_sparse_matrix):
+        k = 4
+        dec = decompose_2d_checkerboard(small_sparse_matrix, k)
+        assert dec.k == k
+        assert dec.is_symmetric()
+        # nonzeros of one row stay within one processor row
+        r, c = processor_grid(k)
+        proc_row = dec.nnz_owner // c
+        for i in np.unique(dec.nnz_row):
+            sel = dec.nnz_row == i
+            assert len(np.unique(proc_row[sel])) == 1
+
+    def test_message_bound(self, small_sparse_matrix):
+        """At most (R-1) + (C-1) distinct communication partners."""
+        k = 16
+        dec = decompose_2d_checkerboard(small_sparse_matrix, k)
+        stats = communication_stats(dec)
+        r, c = processor_grid(k)
+        assert stats.max_messages <= (r - 1) + (c - 1)
+
+    def test_numerics(self, small_sparse_matrix):
+        dec = decompose_2d_checkerboard(small_sparse_matrix, 6)
+        x = np.random.default_rng(0).standard_normal(30)
+        assert np.allclose(simulate_spmv(dec, x).y, small_sparse_matrix @ x)
+
+    def test_deterministic(self, small_sparse_matrix):
+        d1 = decompose_2d_checkerboard(small_sparse_matrix, 4)
+        d2 = decompose_2d_checkerboard(small_sparse_matrix, 4)
+        assert np.array_equal(d1.nnz_owner, d2.nnz_owner)
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            decompose_2d_checkerboard(sp.csr_matrix((2, 3)), 2)
+
+    @given(sparse_square_matrices(), st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_property_valid_and_exact(self, a, k):
+        a2 = sp.csr_matrix(a)
+        a2.eliminate_zeros()
+        dec = decompose_2d_checkerboard(a2, k)
+        assert dec.nnz == a2.nnz
+        x = np.ones(a2.shape[0])
+        assert np.allclose(simulate_spmv(dec, x).y, a2 @ x)

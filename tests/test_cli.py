@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.cli import load_matrix_arg, main
+from repro.matrix.io import write_matrix_market
+
+
+@pytest.fixture
+def mtx_file(tmp_path, small_sparse_matrix):
+    p = tmp_path / "m.mtx"
+    write_matrix_market(small_sparse_matrix, p)
+    return str(p)
+
+
+class TestLoadMatrixArg:
+    def test_from_file(self, mtx_file, small_sparse_matrix):
+        a = load_matrix_arg(mtx_file)
+        assert abs(a - small_sparse_matrix).max() < 1e-14
+
+    def test_from_collection(self):
+        a = load_matrix_arg("collection:sherman3@0.05")
+        assert a.shape[0] > 0
+
+    def test_collection_default_scale(self):
+        a = load_matrix_arg("collection:bcspwr10@0.02")
+        assert a.shape[0] == 106
+
+
+class TestCommands:
+    def test_info(self, mtx_file, capsys):
+        assert main(["info", mtx_file]) == 0
+        out = capsys.readouterr().out
+        assert "30" in out
+
+    @pytest.mark.parametrize(
+        "model", ["finegrain2d", "hypergraph1d", "rownet1d", "graph",
+                  "checkerboard", "jagged"]
+    )
+    def test_partition_models(self, mtx_file, capsys, model):
+        assert main(["partition", mtx_file, "-k", "4", "--model", model]) == 0
+        out = capsys.readouterr().out
+        assert "K=4" in out
+        assert "scaled:" in out
+
+    def test_partition_then_spmv_roundtrip(self, mtx_file, tmp_path, capsys):
+        dec_file = str(tmp_path / "dec.npz")
+        assert main([
+            "partition", mtx_file, "-k", "4", "--output", dec_file,
+        ]) == 0
+        assert main(["spmv", mtx_file, dec_file]) == 0
+        out = capsys.readouterr().out
+        assert "matches serial product: True" in out
+
+    def test_spmv_exit_code_reflects_verification(self, mtx_file, tmp_path):
+        # corrupt decomposition: mismatched owners still produce a valid
+        # simulation (ownership is arbitrary), so verification passes; this
+        # asserts the happy path exit code only
+        dec_file = str(tmp_path / "dec.npz")
+        main(["partition", mtx_file, "-k", "2", "--output", dec_file])
+        assert main(["spmv", mtx_file, dec_file, "--seed", "5"]) == 0

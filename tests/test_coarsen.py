@@ -1,0 +1,150 @@
+"""Tests for the coarsening phase of the hypergraph partitioner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import as_rng
+from repro.hypergraph import (
+    cutsize_connectivity,
+    hypergraph_from_netlists,
+    validate_hypergraph,
+)
+from repro.partitioner.coarsen import (
+    build_coarse,
+    coarsen,
+    match_vertices,
+)
+from repro.partitioner.config import PartitionerConfig
+from tests.conftest import hypergraphs, random_hypergraph
+
+
+class TestMatching:
+    @pytest.mark.parametrize("scheme", ["hcm", "hcc"])
+    def test_cmap_is_valid(self, scheme):
+        h = random_hypergraph(as_rng(0), 40, 30)
+        cmap, nc, cfix = match_vertices(h, as_rng(1), scheme=scheme)
+        assert len(cmap) == 40
+        assert cmap.min() >= 0 and cmap.max() < nc
+        # every cluster id in [0, nc) is used
+        assert len(np.unique(cmap)) == nc
+
+    def test_hcm_pairs_only(self):
+        h = random_hypergraph(as_rng(2), 30, 25)
+        cmap, nc, _ = match_vertices(h, as_rng(3), scheme="hcm")
+        sizes = np.bincount(cmap)
+        assert sizes.max() <= 2
+
+    def test_weight_cap_respected(self):
+        h = hypergraph_from_netlists(
+            4, [[0, 1, 2, 3]], vertex_weights=[5, 5, 5, 5]
+        )
+        cmap, nc, _ = match_vertices(h, as_rng(0), max_cluster_weight=5)
+        # nobody can merge: every vertex is its own cluster
+        assert nc == 4
+
+    def test_connected_vertices_cluster(self):
+        # two disjoint cliques must never mix
+        h = hypergraph_from_netlists(6, [[0, 1, 2], [3, 4, 5]])
+        cmap, nc, _ = match_vertices(h, as_rng(0), scheme="hcc")
+        left = {int(cmap[v]) for v in (0, 1, 2)}
+        right = {int(cmap[v]) for v in (3, 4, 5)}
+        assert left.isdisjoint(right)
+
+    def test_fixed_never_mix(self):
+        h = hypergraph_from_netlists(4, [[0, 1], [2, 3], [0, 2]])
+        fixed = np.array([0, -1, 1, -1])
+        for seed in range(8):
+            cmap, nc, cfix = match_vertices(
+                h, as_rng(seed), scheme="hcc", fixed=fixed
+            )
+            assert cmap[0] != cmap[2]
+            assert cfix[cmap[0]] == 0
+            assert cfix[cmap[2]] == 1
+
+
+class TestBuildCoarse:
+    def test_weights_preserved(self):
+        h = random_hypergraph(as_rng(4), 30, 20, weighted=True)
+        cmap, nc, _ = match_vertices(h, as_rng(5))
+        hc = build_coarse(h, cmap, nc)
+        assert hc.total_vertex_weight() == h.total_vertex_weight()
+
+    def test_structure_valid(self):
+        h = random_hypergraph(as_rng(6), 50, 40)
+        cmap, nc, _ = match_vertices(h, as_rng(7))
+        hc = build_coarse(h, cmap, nc)
+        validate_hypergraph(hc)
+
+    def test_single_pin_nets_dropped(self):
+        h = hypergraph_from_netlists(4, [[0, 1], [2], [2, 3]])
+        cmap = np.array([0, 0, 1, 2])
+        hc = build_coarse(h, cmap, 3)
+        # net [0,1] collapses to single coarse pin -> dropped; net [2] dropped
+        assert hc.num_nets == 1
+        assert hc.pins_of(0).tolist() == [1, 2]
+
+    def test_identical_nets_merged_costs_summed(self):
+        h = hypergraph_from_netlists(
+            4, [[0, 1], [0, 1], [2, 3]], net_costs=[2, 3, 1]
+        )
+        cmap = np.arange(4)
+        hc = build_coarse(h, cmap, 4)
+        assert hc.num_nets == 2
+        costs = sorted(hc.net_costs.tolist())
+        assert costs == [1, 5]
+
+    def test_duplicate_pins_deduped(self):
+        h = hypergraph_from_netlists(4, [[0, 1, 2, 3]])
+        cmap = np.array([0, 0, 1, 1])
+        hc = build_coarse(h, cmap, 2)
+        assert hc.pins_of(0).tolist() == [0, 1]
+
+    @given(hypergraphs(weighted=True), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_property_projected_cutsize_equal(self, h, seed):
+        """Cutsize of a coarse partition equals the cutsize of its
+        projection to the fine hypergraph (cutsize preservation)."""
+        rng = as_rng(seed)
+        cmap, nc, _ = match_vertices(h, rng)
+        hc = build_coarse(h, cmap, nc)
+        coarse_part = rng.integers(0, 3, size=nc)
+        fine_part = coarse_part[cmap]
+        assert cutsize_connectivity(hc, coarse_part) == cutsize_connectivity(
+            h, fine_part
+        )
+
+
+class TestCoarsenDriver:
+    def test_hierarchy_shrinks(self):
+        h = random_hypergraph(as_rng(8), 300, 220)
+        cfg = PartitionerConfig(coarsen_to=40)
+        levels, coarsest, _ = coarsen(h, cfg, as_rng(9))
+        assert coarsest.num_vertices < 300
+        sizes = [lvl.fine.num_vertices for lvl in levels] + [coarsest.num_vertices]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_matching_none_skips(self):
+        h = random_hypergraph(as_rng(10), 100, 60)
+        cfg = PartitionerConfig(matching="none")
+        levels, coarsest, _ = coarsen(h, cfg, as_rng(11))
+        assert levels == []
+        assert coarsest is h
+
+    def test_weight_conserved_through_hierarchy(self):
+        h = random_hypergraph(as_rng(12), 200, 150, weighted=True)
+        cfg = PartitionerConfig(coarsen_to=30)
+        _, coarsest, _ = coarsen(h, cfg, as_rng(13))
+        assert coarsest.total_vertex_weight() == h.total_vertex_weight()
+
+    def test_fixed_propagates(self):
+        h = random_hypergraph(as_rng(14), 120, 90)
+        fixed = np.full(120, -1, dtype=np.int64)
+        fixed[:10] = 0
+        fixed[10:20] = 1
+        cfg = PartitionerConfig(coarsen_to=20)
+        levels, coarsest, cfixed = coarsen(h, cfg, as_rng(15), fixed=fixed)
+        assert cfixed is not None
+        # both sides survive
+        assert (cfixed == 0).any() and (cfixed == 1).any()

@@ -1,0 +1,83 @@
+"""Tests for the synthesized test-matrix collection (Table 1 fidelity)."""
+
+import numpy as np
+import pytest
+
+from repro.matrix import (
+    COLLECTION,
+    collection_names,
+    load_collection_matrix,
+    matrix_stats,
+    paper_table1,
+)
+
+
+class TestRegistry:
+    def test_fourteen_matrices_in_paper_order(self):
+        names = collection_names()
+        assert len(names) == 14
+        assert names[0] == "sherman3"
+        assert names[-1] == "finan512"
+        # Table 1 is ordered by increasing nonzeros
+        nnzs = [COLLECTION[n].paper.nnz for n in names]
+        assert nnzs == sorted(nnzs)
+
+    def test_paper_table1_stats(self):
+        stats = {s.name: s for s in paper_table1()}
+        assert stats["ken-11"].rows == 14694
+        assert stats["ken-11"].nnz == 82454
+        assert stats["finan512"].max_per_rowcol == 1449
+        assert stats["sherman3"].avg_per_rowcol == pytest.approx(4.00)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown collection matrix"):
+            load_collection_matrix("nosuch")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            load_collection_matrix("sherman3", scale=0)
+        with pytest.raises(ValueError, match="scale"):
+            load_collection_matrix("sherman3", scale=1.5)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["sherman3", "ken-11", "pltexpA4-6"])
+    def test_same_args_same_matrix(self, name):
+        a = load_collection_matrix(name, scale=0.2, seed=3)
+        b = load_collection_matrix(name, scale=0.2, seed=3)
+        assert (a != b).nnz == 0
+
+    def test_different_seeds_differ(self):
+        a = load_collection_matrix("cq9", scale=0.2, seed=0)
+        b = load_collection_matrix("cq9", scale=0.2, seed=1)
+        assert (a != b).nnz > 0
+
+    def test_names_decorrelated(self):
+        a = load_collection_matrix("cre-b", scale=0.2, seed=0)
+        b = load_collection_matrix("cre-d", scale=0.2, seed=0)
+        assert a.shape != b.shape or (a != b).nnz > 0
+
+
+class TestFidelity:
+    """Generated matrices must sit near the paper's Table 1 statistics."""
+
+    @pytest.mark.parametrize("name", collection_names())
+    def test_full_scale_stats_close(self, name):
+        a = load_collection_matrix(name, scale=1.0, seed=0)
+        s = matrix_stats(a, name)
+        p = COLLECTION[name].paper
+        assert s.rows == pytest.approx(p.rows, rel=0.02)
+        assert s.nnz == pytest.approx(p.nnz, rel=0.15)
+        assert s.avg_per_rowcol == pytest.approx(p.avg_per_rowcol, rel=0.15)
+        assert s.min_per_rowcol >= 1
+        # max degree within a factor 2 band (structure class, not identity)
+        assert p.max_per_rowcol / 2.5 <= s.max_per_rowcol <= p.max_per_rowcol * 1.2
+
+    @pytest.mark.parametrize("name", ["sherman3", "ken-11", "vibrobox"])
+    def test_scaled_preserves_density(self, name):
+        full = matrix_stats(load_collection_matrix(name, scale=1.0, seed=0))
+        small = matrix_stats(load_collection_matrix(name, scale=0.25, seed=0))
+        assert small.rows < full.rows
+        assert small.avg_per_rowcol == pytest.approx(
+            full.avg_per_rowcol, rel=0.35
+        )

@@ -1,0 +1,44 @@
+"""Tests for the alpha-beta machine cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core import decomposition_from_row_partition
+from repro.spmv import MachineModel, communication_stats, estimate_parallel_time
+
+
+def stats_for(a, k=4):
+    m = a.shape[0]
+    part = np.arange(m) % k
+    return communication_stats(decomposition_from_row_partition(a, part, k))
+
+
+class TestMachineModel:
+    def test_defaults_valid(self):
+        m = MachineModel()
+        assert m.alpha > m.beta
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MachineModel(alpha=-1)
+
+
+class TestEstimate:
+    def test_positive_and_monotone(self, small_sparse_matrix):
+        s = stats_for(small_sparse_matrix)
+        base = estimate_parallel_time(s)
+        assert base > 0
+        slower_net = estimate_parallel_time(s, MachineModel(alpha=1e-3))
+        assert slower_net > base
+
+    def test_no_comm_means_compute_only(self, small_sparse_matrix):
+        a = small_sparse_matrix
+        m = a.shape[0]
+        part = np.zeros(m, dtype=np.int64)  # everything on one processor
+        s = communication_stats(decomposition_from_row_partition(a, part, 2))
+        mm = MachineModel(t_flop=1e-6, alpha=1.0, beta=1.0)
+        assert estimate_parallel_time(s, mm) == pytest.approx(2 * a.nnz * 1e-6)
+
+    def test_free_machine(self, small_sparse_matrix):
+        s = stats_for(small_sparse_matrix)
+        assert estimate_parallel_time(s, MachineModel(0.0, 0.0, 0.0)) == 0.0

@@ -1,0 +1,92 @@
+"""Tests for decomposition objects and the §3 decode rule."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import (
+    build_finegrain_model,
+    decomposition_from_finegrain,
+    decomposition_from_row_partition,
+)
+from repro.core.decomposition import decomposition_from_col_partition
+
+
+class TestFromFinegrain:
+    def test_decode_rule(self, paper_figure1_matrix):
+        """x_j and y_j follow part[v_jj] (the paper's decode)."""
+        model = build_finegrain_model(paper_figure1_matrix)
+        rng = np.random.default_rng(0)
+        part = rng.integers(0, 3, size=model.hypergraph.num_vertices)
+        dec = decomposition_from_finegrain(model, part, 3)
+        for j in range(model.m):
+            assert dec.x_owner[j] == part[model.diag_vertex[j]]
+            assert dec.y_owner[j] == part[model.diag_vertex[j]]
+        assert dec.is_symmetric()
+
+    def test_nonzero_owners_follow_partition(self, paper_figure1_matrix):
+        model = build_finegrain_model(paper_figure1_matrix)
+        part = np.arange(model.hypergraph.num_vertices) % 2
+        dec = decomposition_from_finegrain(model, part, 2)
+        assert np.array_equal(dec.nnz_owner, part[: model.nnz])
+
+    def test_matrix_roundtrip(self, paper_figure1_matrix):
+        model = build_finegrain_model(paper_figure1_matrix)
+        part = np.zeros(model.hypergraph.num_vertices, dtype=np.int64)
+        dec = decomposition_from_finegrain(model, part, 1)
+        assert (dec.matrix() != paper_figure1_matrix).nnz == 0
+
+    def test_wrong_length_rejected(self, paper_figure1_matrix):
+        model = build_finegrain_model(paper_figure1_matrix)
+        with pytest.raises(ValueError, match="length"):
+            decomposition_from_finegrain(model, np.zeros(3), 2)
+
+
+class TestFromRowColPartitions:
+    def test_row_partition(self, small_sparse_matrix):
+        a = small_sparse_matrix
+        m = a.shape[0]
+        row_part = np.arange(m) % 4
+        dec = decomposition_from_row_partition(a, row_part, 4)
+        assert np.array_equal(dec.nnz_owner, row_part[dec.nnz_row])
+        assert np.array_equal(dec.x_owner, row_part)
+        assert dec.is_symmetric()
+
+    def test_col_partition(self, small_sparse_matrix):
+        a = small_sparse_matrix
+        m = a.shape[0]
+        col_part = np.arange(m) % 3
+        dec = decomposition_from_col_partition(a, col_part, 3)
+        assert np.array_equal(dec.nnz_owner, col_part[dec.nnz_col])
+        assert np.array_equal(dec.y_owner, col_part)
+
+    def test_wrong_length(self, small_sparse_matrix):
+        with pytest.raises(ValueError, match="one entry per row"):
+            decomposition_from_row_partition(small_sparse_matrix, np.zeros(3), 2)
+
+
+class TestDecompositionAccessors:
+    def make(self, small_sparse_matrix, k=4):
+        m = small_sparse_matrix.shape[0]
+        return decomposition_from_row_partition(
+            small_sparse_matrix, np.arange(m) % k, k
+        )
+
+    def test_loads(self, small_sparse_matrix):
+        dec = self.make(small_sparse_matrix)
+        loads = dec.computational_loads()
+        assert loads.sum() == dec.nnz
+        assert len(loads) == 4
+        assert dec.load_imbalance() >= 0
+
+    def test_local_matrices_partition_the_nonzeros(self, small_sparse_matrix):
+        dec = self.make(small_sparse_matrix)
+        total = sum(dec.local_matrix(p).nnz for p in range(4))
+        assert total == dec.nnz
+        summed = sum(dec.local_matrix(p) for p in range(4))
+        assert abs(summed - small_sparse_matrix).max() < 1e-12
+
+    def test_owner_range_checked(self, small_sparse_matrix):
+        m = small_sparse_matrix.shape[0]
+        with pytest.raises(ValueError, match="outside"):
+            decomposition_from_row_partition(small_sparse_matrix, np.full(m, 9), 4)

@@ -1,0 +1,144 @@
+"""Edge cases and failure injection across the stack.
+
+Degenerate inputs (empty matrices, single rows, K larger than the work,
+all-zero weights) and adversarial decompositions (owners outside the
+holder sets) — places where silent breakage would otherwise hide.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import (
+    Hypergraph,
+    decompose_2d_finegrain,
+    partition_hypergraph,
+    simulate_spmv,
+)
+from repro.core import build_finegrain_model, decomposition_from_finegrain
+from repro.core.decomposition import Decomposition
+from repro.hypergraph import hypergraph_from_netlists
+from repro.models import build_columnnet_model, decompose_2d_checkerboard
+from repro.partitioner import PartitionerConfig
+from repro.spmv import communication_stats
+
+
+class TestDegenerateMatrices:
+    def test_single_entry_matrix(self):
+        a = sp.csr_matrix(([3.0], ([0], [0])), shape=(1, 1))
+        dec, info = decompose_2d_finegrain(a, 1, seed=0)
+        assert communication_stats(dec).total_volume == 0
+        assert np.allclose(simulate_spmv(dec, np.array([2.0])).y, [6.0])
+
+    def test_diagonal_matrix_never_communicates(self):
+        a = sp.diags(np.arange(1.0, 21.0)).tocsr()
+        dec, info = decompose_2d_finegrain(a, 4, seed=0)
+        # every row/column net has a single pin: nothing can be cut
+        assert info.cutsize == 0
+        assert communication_stats(dec).total_volume == 0
+
+    def test_dense_row_matrix(self):
+        # one row holds everything: balance forces splitting it (2D can!)
+        row = np.zeros(20, dtype=int)
+        cols = np.arange(20)
+        a = sp.csr_matrix((np.ones(20), (row, cols)), shape=(20, 20))
+        dec, info = decompose_2d_finegrain(a, 4, seed=0)
+        assert dec.load_imbalance() <= 0.30
+        x = np.random.default_rng(0).standard_normal(20)
+        assert np.allclose(simulate_spmv(dec, x).y, a @ x)
+
+    def test_k_exceeds_nonzeros(self):
+        a = sp.eye(3, format="csr")
+        dec, info = decompose_2d_finegrain(a, 8, seed=0)
+        assert dec.k == 8
+        x = np.ones(3)
+        assert np.allclose(simulate_spmv(dec, x).y, a @ x)
+
+    def test_empty_rows_and_columns(self):
+        # rows 1 and 3 empty; fine-grain adds dummies for them
+        a = sp.csr_matrix(
+            (np.ones(3), ([0, 2, 4], [0, 2, 4])), shape=(5, 5)
+        )
+        model = build_finegrain_model(a)
+        assert model.n_dummy == 2
+        dec, _ = decompose_2d_finegrain(a, 2, seed=0)
+        x = np.arange(5.0)
+        assert np.allclose(simulate_spmv(dec, x).y, a @ x)
+
+
+class TestAdversarialDecompositions:
+    def test_owner_outside_holder_set_costs_full_set(self):
+        """If x_j lives on a processor with no nonzero in column j, the
+        expand must pay |holders| words, not |holders| - 1."""
+        a = sp.csr_matrix((np.ones(2), ([0, 1], [0, 0])), shape=(2, 2))
+        dec = Decomposition(
+            k=3,
+            m=2,
+            nnz_row=np.array([0, 1]),
+            nnz_col=np.array([0, 0]),
+            nnz_val=np.ones(2),
+            nnz_owner=np.array([0, 1]),  # column 0 held by ranks 0 and 1
+            x_owner=np.array([2, 2]),    # but owned by rank 2
+            y_owner=np.array([2, 2]),
+        )
+        stats = communication_stats(dec)
+        assert stats.expand_volume == 2  # both holders receive x_0
+        x = np.array([1.0, 5.0])
+        assert np.allclose(simulate_spmv(dec, x).y, a @ x)
+
+    def test_wildly_unbalanced_decomposition_still_exact(self):
+        rng = np.random.default_rng(0)
+        a = sp.random(40, 40, density=0.2, random_state=rng, format="csr")
+        model = build_finegrain_model(a)
+        part = np.zeros(model.hypergraph.num_vertices, dtype=np.int64)
+        part[:3] = 1  # nearly everything on rank 0
+        dec = decomposition_from_finegrain(model, part, 4)
+        x = rng.standard_normal(40)
+        assert np.allclose(simulate_spmv(dec, x).y, a @ x)
+
+
+class TestPartitionerDegenerate:
+    def test_hypergraph_with_no_nets(self):
+        h = hypergraph_from_netlists(10, [])
+        res = partition_hypergraph(h, 4, seed=0)
+        assert res.cutsize == 0
+        assert res.imbalance <= 0.30
+
+    def test_all_vertices_in_one_net(self):
+        h = hypergraph_from_netlists(12, [list(range(12))])
+        res = partition_hypergraph(h, 3, seed=0)
+        assert res.cutsize == 2  # lambda - 1 = 3 - 1, unavoidable
+
+    def test_single_vertex(self):
+        h = hypergraph_from_netlists(1, [[0]])
+        res = partition_hypergraph(h, 2, seed=0)
+        assert res.cutsize == 0
+
+    def test_zero_weight_everything(self):
+        h = hypergraph_from_netlists(
+            4, [[0, 1], [2, 3]], vertex_weights=[0, 0, 0, 0]
+        )
+        res = partition_hypergraph(h, 2, seed=0)
+        assert res.imbalance == 0.0
+
+    def test_duplicate_heavy_nets(self):
+        nets = [[0, 1, 2]] * 5 + [[3, 4, 5]] * 5
+        h = hypergraph_from_netlists(6, nets)
+        res = partition_hypergraph(h, 2, seed=0)
+        assert res.cutsize == 0
+
+
+class TestModelDegenerate:
+    def test_columnnet_on_diagonal_matrix(self):
+        a = sp.eye(6, format="csr")
+        model = build_columnnet_model(a)
+        assert model.hypergraph.net_sizes().tolist() == [1] * 6
+
+    def test_checkerboard_k1(self):
+        a = sp.eye(5, format="csr")
+        dec = decompose_2d_checkerboard(a, 1)
+        assert communication_stats(dec).total_volume == 0
+
+    def test_finegrain_k_one_no_cut(self, small_sparse_matrix):
+        dec, info = decompose_2d_finegrain(small_sparse_matrix, 1, seed=0)
+        assert info.cutsize == 0

@@ -1,0 +1,73 @@
+"""Smoke tests running the example scripts end to end.
+
+Each example must exit 0 and print its key conclusion — examples are part
+of the public contract, so they are tested like code.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 600) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "volume theorem holds" in out
+        assert "distributed y == serial A @ x" in out
+
+    def test_figure1(self):
+        out = run_example("figure1_dependency_view.py")
+        assert "column-net n_3" in out
+        assert "row-net m_1" in out
+        assert "cutsize=" in out
+
+    def test_reduction_problem(self):
+        out = run_example("reduction_problem.py")
+        assert "fixed part vertices respected" in out
+
+    def test_matrix_market_workflow(self, tmp_path):
+        out = run_example("matrix_market_workflow.py", str(tmp_path))
+        assert "partitioned: K=8" in out
+        assert (tmp_path / "sherman3_finegrain.patoh").exists()
+        assert (tmp_path / "sherman3_finegrain.part.8").exists()
+
+    def test_rectangular_reduction(self):
+        out = run_example("rectangular_reduction.py")
+        assert "volume theorem holds for the rectangular reduction" in out
+        assert "expected False" in out
+
+    def test_parallel_execution(self):
+        out = run_example("parallel_execution.py")
+        assert "verified across real processes" in out
+        assert "exactly as simulated" in out
+
+    @pytest.mark.slow
+    def test_iterative_solver(self):
+        out = run_example("iterative_solver_decomposition.py")
+        assert "least communication" in out
+
+    @pytest.mark.slow
+    def test_model_comparison(self):
+        out = run_example("model_comparison.py", "sherman3", "0.05")
+        assert "Fine-Grain" in out
+        assert "improvement" in out
+
+    @pytest.mark.slow
+    def test_two_dimensional_methods(self):
+        out = run_example("two_dimensional_methods.py")
+        assert "checkerboard" in out

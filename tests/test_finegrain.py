@@ -1,0 +1,115 @@
+"""Tests for the fine-grain hypergraph model (§3 of the paper)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+
+from repro.core import build_finegrain_model
+from repro.hypergraph.builders import validate_hypergraph
+from tests.conftest import sparse_square_matrices
+
+
+class TestConstruction:
+    def test_counts(self, paper_figure1_matrix):
+        a = paper_figure1_matrix
+        model = build_finegrain_model(a)
+        h = model.hypergraph
+        m, z = a.shape[0], a.nnz
+        assert model.m == m
+        assert model.nnz == z
+        assert h.num_nets == 2 * m
+        # dummies for each zero diagonal
+        n_zero_diag = m - np.count_nonzero(a.diagonal())
+        assert model.n_dummy == n_zero_diag
+        assert h.num_vertices == z + n_zero_diag
+
+    def test_nets_match_rows_and_columns(self, paper_figure1_matrix):
+        a = paper_figure1_matrix
+        model = build_finegrain_model(a)
+        h = model.hypergraph
+        coo = a.tocoo()
+        for i in range(model.m):
+            pins = h.pins_of(model.row_net(i))
+            real = [int(v) for v in pins if not model.is_dummy(int(v))]
+            assert sorted(model.vertex_col[real].tolist()) == sorted(
+                coo.col[coo.row == i].tolist()
+            )
+        for j in range(model.m):
+            pins = h.pins_of(model.col_net(j))
+            real = [int(v) for v in pins if not model.is_dummy(int(v))]
+            assert sorted(model.vertex_row[real].tolist()) == sorted(
+                coo.row[coo.col == j].tolist()
+            )
+
+    def test_figure1_shapes(self, paper_figure1_matrix):
+        """Row net m_1 has 4 pins, column net n_3 has 3 pins (Figure 1)."""
+        model = build_finegrain_model(paper_figure1_matrix)
+        h = model.hypergraph
+        assert h.net_size(model.row_net(1)) == 4
+        assert h.net_size(model.col_net(3)) == 3
+
+    def test_every_real_vertex_has_two_nets(self, small_sparse_matrix):
+        model = build_finegrain_model(small_sparse_matrix)
+        h = model.hypergraph
+        degs = h.vertex_degrees()
+        assert np.all(degs == 2)
+
+    def test_unit_weights_and_zero_dummies(self, paper_figure1_matrix):
+        model = build_finegrain_model(paper_figure1_matrix)
+        w = model.hypergraph.vertex_weights
+        assert np.all(w[: model.nnz] == 1)
+        assert np.all(w[model.nnz :] == 0)
+        assert model.hypergraph.total_vertex_weight() == model.nnz
+
+    def test_consistency_condition(self, paper_figure1_matrix):
+        """v_jj is a pin of both m_j and n_j for every j (the §3 condition)."""
+        model = build_finegrain_model(paper_figure1_matrix)
+        h = model.hypergraph
+        for j in range(model.m):
+            d = int(model.diag_vertex[j])
+            assert d in h.pins_of(model.row_net(j))
+            assert d in h.pins_of(model.col_net(j))
+            assert model.vertex_row[d] == j
+            assert model.vertex_col[d] == j
+
+    def test_no_consistency_mode(self, paper_figure1_matrix):
+        model = build_finegrain_model(paper_figure1_matrix, consistency=False)
+        assert model.n_dummy == 0
+        assert model.hypergraph.num_vertices == model.nnz
+        # zero-diagonal columns then have no diagonal vertex
+        assert (model.diag_vertex < 0).any()
+
+    def test_explicit_zeros_dropped(self):
+        a = sp.csr_matrix(np.array([[1.0, 0.0], [2.0, 0.0]]))
+        a[0, 1] = 0.0  # explicit stored zero
+        model = build_finegrain_model(a)
+        assert model.nnz == 2
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            build_finegrain_model(sp.csr_matrix((2, 3)))
+
+    def test_values_preserved(self, paper_figure1_matrix):
+        model = build_finegrain_model(paper_figure1_matrix)
+        rebuilt = sp.csr_matrix(
+            (
+                model.vertex_val,
+                (model.vertex_row[: model.nnz], model.vertex_col[: model.nnz]),
+            ),
+            shape=(model.m, model.m),
+        )
+        assert (rebuilt != paper_figure1_matrix).nnz == 0
+
+    @given(sparse_square_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_property_structure_valid(self, a):
+        model = build_finegrain_model(a)
+        h = model.hypergraph
+        validate_hypergraph(h)
+        # pin count: every vertex in exactly its row net and column net
+        assert h.num_pins == 2 * h.num_vertices
+        # diagonal vertices well-defined for all columns
+        assert np.all(model.diag_vertex >= 0)
+        assert np.all(model.vertex_row[model.diag_vertex] == np.arange(model.m))
+        assert np.all(model.vertex_col[model.diag_vertex] == np.arange(model.m))

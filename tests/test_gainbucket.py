@@ -1,0 +1,117 @@
+"""Tests for the FM gain-bucket priority structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partitioner.gainbucket import GainBucket
+
+
+class TestBasics:
+    def test_insert_and_best(self):
+        b = GainBucket(5, 10)
+        b.insert(0, 3)
+        b.insert(1, -2)
+        b.insert(2, 7)
+        assert b.best() == 2
+        assert b.max_gain() == 7
+        assert len(b) == 3
+
+    def test_pop_best_removes(self):
+        b = GainBucket(3, 5)
+        b.insert(0, 1)
+        b.insert(1, 5)
+        assert b.pop_best() == 1
+        assert b.best() == 0
+        assert len(b) == 1
+
+    def test_remove_middle_of_list(self):
+        b = GainBucket(4, 5)
+        for v in (0, 1, 2):
+            b.insert(v, 2)
+        b.remove(1)
+        got = {b.pop_best(), b.pop_best()}
+        assert got == {0, 2}
+        assert b.best() is None
+
+    def test_adjust_moves_bucket(self):
+        b = GainBucket(2, 10)
+        b.insert(0, 1)
+        b.insert(1, 2)
+        b.adjust(0, 5)
+        assert b.best() == 0
+        b.adjust(0, -10)
+        assert b.best() == 1
+
+    def test_feasibility_filter(self):
+        b = GainBucket(4, 5)
+        b.insert(0, 5)
+        b.insert(1, 3)
+        b.insert(2, 1)
+        assert b.best(lambda v: v != 0) == 1
+        assert b.pop_best(lambda v: v == 2) == 2
+
+    def test_best_empty(self):
+        b = GainBucket(3, 5)
+        assert b.best() is None
+        assert b.pop_best() is None
+        assert b.max_gain() is None
+
+    def test_contains(self):
+        b = GainBucket(2, 2)
+        b.insert(0, 0)
+        assert b.contains(0)
+        assert not b.contains(1)
+
+    def test_double_insert_rejected(self):
+        b = GainBucket(2, 2)
+        b.insert(0, 0)
+        with pytest.raises(ValueError, match="already"):
+            b.insert(0, 1)
+
+    def test_remove_absent_rejected(self):
+        b = GainBucket(2, 2)
+        with pytest.raises(ValueError, match="not in bucket"):
+            b.remove(1)
+
+    def test_gain_out_of_range_rejected(self):
+        b = GainBucket(2, 2)
+        with pytest.raises(ValueError, match="outside bucket range"):
+            b.insert(0, 3)
+
+    def test_negative_max_gain_rejected(self):
+        with pytest.raises(ValueError):
+            GainBucket(1, -1)
+
+
+class TestAgainstReference:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["ins", "pop", "adj"]), st.integers(0, 19),
+                      st.integers(-8, 8)),
+            max_size=120,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_dict_reference(self, ops):
+        """Every op sequence behaves like a dict-based reference model."""
+        n, mg = 20, 30
+        b = GainBucket(n, mg)
+        ref: dict[int, int] = {}
+        for op, v, g in ops:
+            if op == "ins" and v not in ref:
+                b.insert(v, g)
+                ref[v] = g
+            elif op == "pop" and ref:
+                got = b.pop_best()
+                best_gain = max(ref.values())
+                assert ref[got] == best_gain
+                del ref[got]
+            elif op == "adj" and v in ref:
+                if abs(ref[v] + g) <= mg:
+                    b.adjust(v, g)
+                    ref[v] += g
+        assert len(b) == len(ref)
+        if ref:
+            assert b.max_gain() == max(ref.values())

@@ -1,0 +1,162 @@
+"""Tests for the structural matrix generators."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrix import (
+    banded_fem_matrix,
+    block_arrow_matrix,
+    geometric_graph_matrix,
+    matrix_stats,
+    skewed_lp_matrix,
+    staircase_matrix,
+    stencil_3d,
+)
+
+
+def degrees(a):
+    a = sp.csr_matrix(a)
+    return np.diff(a.indptr), np.bincount(a.indices, minlength=a.shape[1])
+
+
+class TestCommonProperties:
+    GENERATORS = [
+        lambda s: stencil_3d(5, 4, 3, keep_prob=0.7, seed=s),
+        lambda s: geometric_graph_matrix(200, avg_degree=4.0, seed=s),
+        lambda s: skewed_lp_matrix(150, 900, max_degree=40, seed=s),
+        lambda s: staircase_matrix(6, 30, avg_row_nnz=6.0, seed=s),
+        lambda s: block_arrow_matrix(5, 20, 4, seed=s),
+        lambda s: banded_fem_matrix(120, 20, avg_degree=12.0, seed=s),
+    ]
+
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_deterministic(self, gen):
+        a, b = gen(7), gen(7)
+        assert (a != b).nnz == 0
+
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_seeds_differ(self, gen):
+        assert (gen(1) != gen(2)).nnz > 0
+
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_square_positive_no_empty(self, gen):
+        a = gen(3)
+        assert a.shape[0] == a.shape[1]
+        assert np.all(a.data > 0)
+        rd, cd = degrees(a)
+        assert rd.min() >= 1, "empty row"
+        assert cd.min() >= 1, "empty column"
+
+
+class TestStencil3d:
+    def test_full_stencil_structure(self):
+        a = stencil_3d(3, 3, 3, keep_prob=1.0, seed=0)
+        assert a.shape == (27, 27)
+        rd, _ = degrees(a)
+        assert rd.max() == 7  # interior point: 6 neighbours + diagonal
+        assert rd.min() == 4  # corner: 3 neighbours + diagonal
+        # symmetric pattern
+        assert ((a != 0) != (a != 0).T).nnz == 0
+
+    def test_keep_prob_thins(self):
+        full = stencil_3d(6, 6, 6, keep_prob=1.0, seed=1)
+        thin = stencil_3d(6, 6, 6, keep_prob=0.4, seed=1)
+        assert thin.nnz < full.nnz
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stencil_3d(0, 2, 2)
+
+
+class TestGeometric:
+    def test_avg_degree_close(self):
+        a = geometric_graph_matrix(3000, avg_degree=4.0, seed=0)
+        s = matrix_stats(a)
+        assert 3.5 < s.avg_per_rowcol < 5.6  # includes diagonal
+
+    def test_max_degree_capped(self):
+        a = geometric_graph_matrix(2000, avg_degree=6.0, max_degree=9, seed=0)
+        rd, cd = degrees(a)
+        assert rd.max() <= 10  # 9 neighbours + diagonal
+
+    def test_symmetric(self):
+        a = geometric_graph_matrix(300, seed=2)
+        assert ((a != 0) != (a != 0).T).nnz == 0
+
+
+class TestSkewedLP:
+    def test_nnz_near_target(self):
+        # nnz is a calibration target: tiny overshoot can come from the
+        # protected dense entries and the empty-row/col diagonal patching
+        a = skewed_lp_matrix(1000, 8000, max_degree=200, seed=0)
+        assert 0.85 * 8000 < a.nnz <= 1.05 * 8000
+
+    def test_max_degree_pinned(self):
+        # max_degree is likewise a soft target: the pinned vertices realize
+        # close to it, plus a few passive picks on top
+        a = skewed_lp_matrix(1000, 10000, max_degree=150, min_degree=1, seed=1)
+        rd, cd = degrees(a)
+        assert max(rd.max(), cd.max()) >= 0.7 * 150
+        assert max(rd.max(), cd.max()) <= 1.3 * 150
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_degree"):
+            skewed_lp_matrix(10, 50, max_degree=10)
+
+
+class TestStaircase:
+    def test_block_bidiagonal_structure(self):
+        a = staircase_matrix(5, 40, avg_row_nnz=8.0, coupling=0.4, seed=0)
+        coo = a.tocoo()
+        stage_r = coo.row // 40
+        stage_c = coo.col // 40
+        assert np.all((stage_c == stage_r) | (stage_c == stage_r + 1))
+
+    def test_min_row_nnz(self):
+        a = staircase_matrix(4, 50, avg_row_nnz=9.0, min_row_nnz=4, seed=1)
+        rd, _ = degrees(a)
+        # dedupe can shave a little off; generous lower bound
+        assert rd.min() >= 2
+
+    def test_col_skew_creates_dense_columns(self):
+        flat = staircase_matrix(4, 100, avg_row_nnz=10, col_skew=1.0, seed=2)
+        skew = staircase_matrix(4, 100, avg_row_nnz=10, col_skew=2.5, seed=2)
+        _, cd_flat = degrees(flat)
+        _, cd_skew = degrees(skew)
+        assert cd_skew.max() > cd_flat.max()
+
+
+class TestBlockArrow:
+    def test_shape(self):
+        a = block_arrow_matrix(4, 25, 6, seed=0)
+        assert a.shape == (106, 106)
+
+    def test_border_rows_are_dense(self):
+        a = block_arrow_matrix(
+            8, 30, 4, intra_degree=4.0,
+            border_degree_min=50, border_degree_max=100, seed=1,
+        )
+        rd, _ = degrees(a)
+        core = 8 * 30
+        assert rd[core:].min() >= 40  # border rows clearly denser
+        assert np.median(rd[:core]) <= 12
+
+    def test_offborder_blocks_disjoint(self):
+        a = block_arrow_matrix(3, 10, 0, intra_degree=5.0, seed=2)
+        coo = a.tocoo()
+        assert np.all((coo.row // 10) == (coo.col // 10))
+
+
+class TestBandedFem:
+    def test_bandwidth_respected(self):
+        a = banded_fem_matrix(300, bandwidth=15, avg_degree=10, seed=0)
+        coo = a.tocoo()
+        assert np.abs(coo.row - coo.col).max() <= 15
+
+    def test_degree_bounds(self):
+        a = banded_fem_matrix(
+            500, bandwidth=100, avg_degree=20, min_degree=9, max_degree=60, seed=1
+        )
+        s = matrix_stats(a)
+        assert 10 <= s.avg_per_rowcol <= 30

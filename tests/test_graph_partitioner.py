@@ -1,0 +1,168 @@
+"""Tests for the multilevel graph partitioner (MeTiS analogue)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro._util import as_rng
+from repro.graph import Graph, edge_cut, graph_from_sparse, partition_graph
+from repro.graph.partitioner import (
+    contract,
+    fm_refine_graph,
+    ggg_bisection,
+    heavy_edge_matching,
+    multilevel_graph_bisect,
+)
+from repro.partitioner.config import PartitionerConfig
+
+
+def grid_graph(nx: int, ny: int) -> Graph:
+    """nx x ny 4-neighbour grid."""
+    n = nx * ny
+    rows, cols = [], []
+    for x in range(nx):
+        for y in range(ny):
+            v = x * ny + y
+            if x + 1 < nx:
+                rows += [v, v + ny]
+                cols += [v + ny, v]
+            if y + 1 < ny:
+                rows += [v, v + 1]
+                cols += [v + 1, v]
+    a = sp.csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(n, n))
+    return graph_from_sparse(a)
+
+
+def random_graph(n: int, p: float, seed: int) -> Graph:
+    rng = np.random.default_rng(seed)
+    a = sp.random(n, n, density=p, random_state=rng, format="csr")
+    a = a + a.T
+    a.data[:] = np.ceil(a.data * 3)
+    return graph_from_sparse(a)
+
+
+class TestCoarsening:
+    def test_hem_valid_cmap(self):
+        g = random_graph(50, 0.1, 0)
+        cmap, nc = heavy_edge_matching(g, as_rng(1), max_cluster_weight=10)
+        assert len(np.unique(cmap)) == nc
+        assert np.bincount(cmap).max() <= 2
+
+    def test_contract_preserves_weight(self):
+        g = random_graph(40, 0.15, 2)
+        cmap, nc = heavy_edge_matching(g, as_rng(3), max_cluster_weight=100)
+        cg = contract(g, cmap, nc)
+        assert cg.total_vertex_weight() == g.total_vertex_weight()
+        assert cg.num_vertices == nc
+
+    def test_contract_preserves_cut(self):
+        """Edge cut of a coarse partition equals that of its projection."""
+        g = random_graph(40, 0.15, 4)
+        cmap, nc = heavy_edge_matching(g, as_rng(5), max_cluster_weight=100)
+        cg = contract(g, cmap, nc)
+        rng = as_rng(6)
+        coarse_part = rng.integers(0, 3, size=nc)
+        assert edge_cut(cg, coarse_part) == edge_cut(g, coarse_part[cmap])
+
+    def test_contract_merges_parallel_edges(self):
+        # triangle contracted to 2 vertices: edges (0-1),(0-2),(1-2) with
+        # cmap [0,0,1] -> single coarse edge of weight 2
+        a = sp.csr_matrix(
+            (np.ones(6), ([0, 1, 0, 2, 1, 2], [1, 0, 2, 0, 2, 1])), shape=(3, 3)
+        )
+        g = graph_from_sparse(a)
+        cg = contract(g, np.array([0, 0, 1]), 2)
+        assert cg.num_edges == 1
+        assert cg.adjwgt.tolist() == [2, 2]
+
+
+class TestRefinement:
+    def test_never_worse(self):
+        cfg = PartitionerConfig()
+        for seed in range(6):
+            g = random_graph(40, 0.12, seed)
+            part = as_rng(seed + 10).integers(0, 2, size=40)
+            before = edge_cut(g, part)
+            new, cut = fm_refine_graph(
+                g, part, (g.total_vertex_weight(),) * 2, cfg, as_rng(seed)
+            )
+            assert edge_cut(g, new) == cut <= before
+
+    def test_repairs_swapped_pair(self):
+        g = grid_graph(4, 4)
+        part = np.array([0] * 8 + [1] * 8)
+        part[0], part[8] = 1, 0  # swap across the natural split
+        cfg = PartitionerConfig()
+        new, cut = fm_refine_graph(g, part, (9, 9), cfg, as_rng(0))
+        assert cut <= edge_cut(g, np.array([0] * 8 + [1] * 8))
+
+
+class TestBisection:
+    def test_grid_bisection_near_optimal(self):
+        g = grid_graph(8, 8)
+        cfg = PartitionerConfig()
+        part, cut = multilevel_graph_bisect(g, (32, 32), 0.03, cfg, as_rng(0))
+        # optimal straight cut = 8
+        assert cut <= 12
+        w0 = int(g.vwgt[part == 0].sum())
+        assert 30 <= w0 <= 34
+
+    def test_ggg_contiguous_on_path(self):
+        g = grid_graph(1, 20)
+        part = ggg_bisection(g, 10, 11, as_rng(3))
+        assert edge_cut(g, part) <= 2
+
+
+class TestPartitionGraph:
+    @pytest.mark.parametrize("k", [2, 3, 4, 8])
+    def test_valid_partition(self, k):
+        g = random_graph(60, 0.1, 7)
+        res = partition_graph(g, k, seed=0)
+        assert res.part.min() >= 0 and res.part.max() < k
+        assert res.edge_cut == edge_cut(g, res.part)
+
+    def test_balance(self):
+        g = grid_graph(8, 8)
+        res = partition_graph(g, 4, config=PartitionerConfig(epsilon=0.03), seed=1)
+        assert res.imbalance <= 0.05
+
+    def test_deterministic(self):
+        g = random_graph(50, 0.1, 8)
+        r1 = partition_graph(g, 4, seed=99)
+        r2 = partition_graph(g, 4, seed=99)
+        assert np.array_equal(r1.part, r2.part)
+
+    def test_quality_on_clustered_graph(self):
+        # 4 dense cliques, sparse links: K=4 should cut only links
+        blocks = []
+        n, b = 32, 8
+        rows, cols = [], []
+        for blk in range(4):
+            base = blk * b
+            for i in range(b):
+                for j in range(i + 1, b):
+                    rows += [base + i, base + j]
+                    cols += [base + j, base + i]
+        for blk in range(3):
+            u, v = blk * b, (blk + 1) * b
+            rows += [u, v]
+            cols += [v, u]
+        a = sp.csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(n, n))
+        g = graph_from_sparse(a)
+        res = partition_graph(g, 4, seed=0)
+        assert res.edge_cut <= 6  # ideal 3
+
+    def test_k1(self):
+        g = random_graph(10, 0.2, 9)
+        res = partition_graph(g, 1, seed=0)
+        assert res.edge_cut == 0
+        assert res.part.tolist() == [0] * 10
+
+    def test_invalid_k(self):
+        g = random_graph(5, 0.3, 10)
+        with pytest.raises(ValueError):
+            partition_graph(g, 0)
+
+    def test_summary(self):
+        g = random_graph(20, 0.2, 11)
+        assert "edgecut=" in partition_graph(g, 2, seed=0).summary()

@@ -1,0 +1,98 @@
+"""Tests for the Harwell–Boeing reader/writer."""
+
+import io
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+
+from repro.matrix.harwell_boeing import read_harwell_boeing, write_harwell_boeing
+from tests.conftest import sparse_square_matrices
+
+
+def roundtrip(a):
+    buf = io.StringIO()
+    write_harwell_boeing(a, buf)
+    buf.seek(0)
+    return read_harwell_boeing(buf)
+
+
+class TestRoundtrip:
+    def test_small(self, small_sparse_matrix):
+        b = roundtrip(small_sparse_matrix)
+        assert abs(b - small_sparse_matrix).max() < 1e-10
+
+    def test_rectangular(self):
+        a = sp.random(5, 9, density=0.4, random_state=0, format="csr")
+        b = roundtrip(a)
+        assert b.shape == (5, 9)
+        assert abs(b - a).max() < 1e-10
+
+    def test_file_path(self, tmp_path, small_sparse_matrix):
+        p = tmp_path / "m.rua"
+        write_harwell_boeing(small_sparse_matrix, p)
+        assert abs(read_harwell_boeing(p) - small_sparse_matrix).max() < 1e-10
+
+    @given(sparse_square_matrices(max_n=10))
+    @settings(max_examples=25, deadline=None)
+    def test_property_roundtrip(self, a):
+        b = roundtrip(a)
+        assert abs(b - a).max() < 1e-9 if a.nnz else b.nnz == 0
+
+
+class TestReadFormats:
+    def hand_file(self, mxtype="RUA", vals=True):
+        """A hand-written 3x3 HB file: entries (1,1)=1.0 (3,1)=2.0 (2,2)=3.0."""
+        lines = [
+            f"{'hand-written test matrix':<72}{'TEST':<8}",
+            f"{3:>14}{1:>14}{1:>14}{1:>14}{0:>14}",
+            f"{mxtype:<14}{3:>14}{3:>14}{3:>14}{0:>14}",
+            f"{'(4I8)':<16}{'(4I8)':<16}{'(3E20.12)':<20}",
+            "       1       3       4       4",
+            "       1       3       2",
+        ]
+        if vals:
+            lines.append(
+                "  1.000000000000E+00  2.000000000000E+00  3.000000000000E+00"
+            )
+        return io.StringIO("\n".join(lines) + "\n")
+
+    def test_hand_rua(self):
+        a = read_harwell_boeing(self.hand_file()).toarray()
+        assert a[0, 0] == 1.0 and a[2, 0] == 2.0 and a[1, 1] == 3.0
+        assert np.count_nonzero(a) == 3
+
+    def test_symmetric_expansion(self):
+        a = read_harwell_boeing(self.hand_file(mxtype="RSA")).toarray()
+        # (3,1) mirrors to (1,3)
+        assert a[0, 2] == 2.0 and a[2, 0] == 2.0
+
+    def test_pattern_type(self):
+        f = self.hand_file(mxtype="PUA", vals=False)
+        # pattern files have no value cards
+        text = f.getvalue().splitlines()
+        text[1] = f"{2:>14}{1:>14}{1:>14}{0:>14}{0:>14}"
+        a = read_harwell_boeing(io.StringIO("\n".join(text) + "\n"))
+        assert a.nnz == 3
+        assert set(a.data.tolist()) == {1.0}
+
+    def test_fortran_d_exponent(self):
+        f = self.hand_file()
+        text = f.getvalue().replace("E+00", "D+00")
+        a = read_harwell_boeing(io.StringIO(text))
+        assert a[0, 0] == 1.0
+
+    def test_unassembled_rejected(self):
+        f = self.hand_file(mxtype="RUE")
+        with pytest.raises(ValueError, match="assembled"):
+            read_harwell_boeing(f)
+
+    def test_complex_rejected(self):
+        f = self.hand_file(mxtype="CUA")
+        with pytest.raises(ValueError, match="value type"):
+            read_harwell_boeing(f)
+
+    def test_truncated(self):
+        with pytest.raises(ValueError, match="truncated"):
+            read_harwell_boeing(io.StringIO("only\ntwo\n"))

@@ -1,0 +1,98 @@
+"""Round-trip and format tests for PaToH / hMeTiS hypergraph I/O."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+
+from repro.hypergraph import hypergraph_from_netlists
+from repro.hypergraph.io import read_hmetis, read_patoh, write_hmetis, write_patoh
+from tests.conftest import hypergraphs
+
+
+def roundtrip(h, writer, reader, **kw):
+    buf = io.StringIO()
+    writer(h, buf, **kw)
+    buf.seek(0)
+    return reader(buf)
+
+
+class TestPatoh:
+    def test_roundtrip_unweighted(self, tiny_hypergraph):
+        assert roundtrip(tiny_hypergraph, write_patoh, read_patoh) == tiny_hypergraph
+
+    def test_roundtrip_base0(self, tiny_hypergraph):
+        assert (
+            roundtrip(tiny_hypergraph, write_patoh, read_patoh, base=0)
+            == tiny_hypergraph
+        )
+
+    def test_roundtrip_weighted(self):
+        h = hypergraph_from_netlists(
+            4, [[0, 1], [1, 2, 3]], vertex_weights=[1, 2, 3, 4], net_costs=[5, 6]
+        )
+        assert roundtrip(h, write_patoh, read_patoh) == h
+
+    def test_comments_skipped(self):
+        text = "% header comment\n1 2 1 2 0\n% net comment\n1 2\n"
+        h = read_patoh(io.StringIO(text))
+        assert h.num_vertices == 2 and h.num_nets == 1
+        assert h.pins_of(0).tolist() == [0, 1]
+
+    def test_flag_optional(self):
+        h = read_patoh(io.StringIO("1 2 1 2\n1 2\n"))
+        assert h.num_pins == 2
+
+    def test_pin_count_mismatch(self):
+        with pytest.raises(ValueError, match="pin count mismatch"):
+            read_patoh(io.StringIO("1 3 1 5\n1 2\n"))
+
+    def test_malformed_header(self):
+        with pytest.raises(ValueError, match="malformed"):
+            read_patoh(io.StringIO("1 2\n"))
+
+    def test_file_path_roundtrip(self, tiny_hypergraph, tmp_path):
+        p = tmp_path / "h.patoh"
+        write_patoh(tiny_hypergraph, p)
+        assert read_patoh(p) == tiny_hypergraph
+
+    @given(hypergraphs(weighted=False))
+    @settings(max_examples=30, deadline=None)
+    def test_property_roundtrip(self, h):
+        assert roundtrip(h, write_patoh, read_patoh) == h
+
+
+class TestHmetis:
+    def test_roundtrip_unweighted(self, tiny_hypergraph):
+        assert roundtrip(tiny_hypergraph, write_hmetis, read_hmetis) == tiny_hypergraph
+
+    def test_roundtrip_net_costs_only(self):
+        h = hypergraph_from_netlists(3, [[0, 1], [1, 2]], net_costs=[3, 4])
+        assert roundtrip(h, write_hmetis, read_hmetis) == h
+
+    def test_roundtrip_vertex_weights_only(self):
+        h = hypergraph_from_netlists(3, [[0, 1], [1, 2]], vertex_weights=[2, 3, 4])
+        assert roundtrip(h, write_hmetis, read_hmetis) == h
+
+    def test_roundtrip_both_weighted(self):
+        h = hypergraph_from_netlists(
+            3, [[0, 1], [1, 2]], vertex_weights=[2, 3, 4], net_costs=[9, 8]
+        )
+        assert roundtrip(h, write_hmetis, read_hmetis) == h
+
+    def test_known_format(self):
+        # the example of the hMeTiS manual: 4 nets, 7 vertices
+        text = "4 7\n1 2\n1 7 5 6\n4 5 6\n2 3 4\n"
+        h = read_hmetis(io.StringIO(text))
+        assert h.num_nets == 4 and h.num_vertices == 7
+        assert h.pins_of(1).tolist() == [0, 6, 4, 5]
+
+    def test_file_path_roundtrip(self, tiny_hypergraph, tmp_path):
+        p = tmp_path / "h.hmetis"
+        write_hmetis(tiny_hypergraph, p)
+        assert read_hmetis(p) == tiny_hypergraph
+
+    @given(hypergraphs(weighted=False))
+    @settings(max_examples=30, deadline=None)
+    def test_property_roundtrip(self, h):
+        assert roundtrip(h, write_hmetis, read_hmetis) == h

@@ -1,0 +1,81 @@
+"""Tests for initial bisection constructors."""
+
+import numpy as np
+import pytest
+
+from repro._util import as_rng
+from repro.hypergraph import hypergraph_from_netlists
+from repro.hypergraph.partition import compute_part_weights, cutsize_connectivity
+from repro.partitioner.config import PartitionerConfig
+from repro.partitioner.initial import ghg_bisection, initial_bisection, random_bisection
+from tests.conftest import random_hypergraph
+
+
+def weights(h, part):
+    return compute_part_weights(h, part, 2)
+
+
+class TestRandomBisection:
+    def test_reaches_target(self):
+        h = random_hypergraph(as_rng(0), 50, 30)
+        part = random_bisection(h, target0=25, max0=27, rng=as_rng(1))
+        w = weights(h, part)
+        assert 23 <= w[0] <= 27
+
+    def test_respects_fixed(self):
+        h = random_hypergraph(as_rng(2), 20, 15)
+        fixed = np.full(20, -1, dtype=np.int64)
+        fixed[0] = 1
+        fixed[1] = 0
+        part = random_bisection(h, 10, 12, as_rng(3), fixed=fixed)
+        assert part[0] == 1 and part[1] == 0
+
+    def test_unit_weight_exact(self):
+        h = hypergraph_from_netlists(10, [[0, 1]])
+        part = random_bisection(h, 5, 5, as_rng(4))
+        assert weights(h, part).tolist() == [5, 5]
+
+
+class TestGHG:
+    def test_reaches_target(self):
+        h = random_hypergraph(as_rng(5), 60, 45)
+        part = ghg_bisection(h, target0=30, max0=33, rng=as_rng(6))
+        w = weights(h, part)
+        assert 28 <= w[0] <= 33
+
+    def test_grows_connected_region(self):
+        # a long path of 2-pin nets: GHG should produce ~1 cut net
+        n = 24
+        h = hypergraph_from_netlists(n, [[i, i + 1] for i in range(n - 1)])
+        cuts = []
+        for seed in range(5):
+            part = ghg_bisection(h, n // 2, n // 2 + 1, as_rng(seed))
+            cuts.append(cutsize_connectivity(h, part))
+        assert min(cuts) <= 2  # near-contiguous growth
+
+    def test_respects_fixed(self):
+        h = random_hypergraph(as_rng(7), 20, 15)
+        fixed = np.full(20, -1, dtype=np.int64)
+        fixed[3] = 1
+        part = ghg_bisection(h, 10, 12, as_rng(8), fixed=fixed)
+        assert part[3] == 1
+
+    def test_different_seeds_differ(self):
+        h = random_hypergraph(as_rng(9), 40, 30)
+        parts = {ghg_bisection(h, 20, 22, as_rng(s)).tobytes() for s in range(6)}
+        assert len(parts) > 1
+
+
+class TestInitialBisection:
+    def test_feasible_and_better_than_single(self):
+        h = random_hypergraph(as_rng(10), 50, 45)
+        cfg = PartitionerConfig(n_initial_starts=6)
+        part = initial_bisection(h, (25, 25), (27, 27), cfg, as_rng(11))
+        w = weights(h, part)
+        assert w[0] <= 27 and w[1] <= 27
+
+    def test_single_start(self):
+        h = random_hypergraph(as_rng(12), 30, 20)
+        cfg = PartitionerConfig(n_initial_starts=1)
+        part = initial_bisection(h, (15, 15), (17, 17), cfg, as_rng(13))
+        assert len(part) == 30

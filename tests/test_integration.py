@@ -1,0 +1,81 @@
+"""Integration tests: the paper's experimental shape, end to end.
+
+These run the real pipeline (generators -> models -> partitioners ->
+simulator) on small instances and assert the qualitative results of the
+evaluation section — the E2 'shape' contract of DESIGN.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    decompose_1d_columnnet,
+    decompose_1d_graph,
+    decompose_2d_finegrain,
+    simulate_spmv,
+)
+from repro.matrix import load_collection_matrix
+from repro.spmv import communication_stats
+
+K = 16
+SCALE = 0.08
+
+
+@pytest.fixture(scope="module")
+def volumes():
+    """Total volumes of the three models on two structured matrices."""
+    out = {}
+    for name in ("finan512", "mod2"):
+        a = load_collection_matrix(name, scale=SCALE, seed=0)
+        row = {}
+        for label, fn in (
+            ("graph", decompose_1d_graph),
+            ("hypergraph1d", decompose_1d_columnnet),
+            ("finegrain2d", decompose_2d_finegrain),
+        ):
+            dec, info = fn(a, K, seed=0)
+            stats = communication_stats(dec)
+            row[label] = (stats, info, dec, a)
+        out[name] = row
+    return out
+
+
+class TestTable2Shape:
+    @pytest.mark.parametrize("name", ["finan512", "mod2"])
+    def test_finegrain_wins_on_volume(self, volumes, name):
+        """The paper's headline: 2D fine-grain needs the least volume."""
+        row = volumes[name]
+        v2d = row["finegrain2d"][0].total_volume
+        v1d = row["hypergraph1d"][0].total_volume
+        vg = row["graph"][0].total_volume
+        assert v2d <= v1d
+        assert v2d < vg
+
+    @pytest.mark.parametrize("name", ["finan512", "mod2"])
+    def test_hypergraph_cutsizes_are_exact_volumes(self, volumes, name):
+        row = volumes[name]
+        for model in ("hypergraph1d", "finegrain2d"):
+            stats, info, _, _ = row[model]
+            assert stats.total_volume == info.cutsize
+
+    @pytest.mark.parametrize("name", ["finan512", "mod2"])
+    def test_message_bounds(self, volumes, name):
+        row = volumes[name]
+        assert row["graph"][0].max_messages <= K - 1
+        assert row["hypergraph1d"][0].max_messages <= K - 1
+        assert row["finegrain2d"][0].max_messages <= 2 * (K - 1)
+
+    @pytest.mark.parametrize("name", ["finan512", "mod2"])
+    def test_balance_epsilon(self, volumes, name):
+        """'percent load imbalance values are below 3%' (§4) plus rounding
+        slack from the small scaled instances."""
+        for model in ("graph", "hypergraph1d", "finegrain2d"):
+            stats = volumes[name][model][0]
+            assert stats.load_imbalance <= 0.08
+
+    @pytest.mark.parametrize("name", ["finan512", "mod2"])
+    def test_numerics_all_models(self, volumes, name):
+        for model in ("graph", "hypergraph1d", "finegrain2d"):
+            stats, info, dec, a = volumes[name][model]
+            x = np.random.default_rng(7).standard_normal(a.shape[0])
+            assert np.allclose(simulate_spmv(dec, x).y, a @ x)

@@ -1,0 +1,66 @@
+"""Tests for the direct K-way greedy refinement pass."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import as_rng
+from repro.hypergraph import cutsize_connectivity, hypergraph_from_netlists, imbalance
+from repro.partitioner.config import PartitionerConfig
+from repro.partitioner.kway import kway_refine
+from tests.conftest import hypergraphs, random_hypergraph
+
+
+class TestKwayRefine:
+    def test_never_worse(self):
+        cfg = PartitionerConfig(epsilon=0.10)
+        for seed in range(8):
+            h = random_hypergraph(as_rng(seed), 40, 35)
+            k = 4
+            part = as_rng(seed + 50).integers(0, k, size=40)
+            before = cutsize_connectivity(h, part)
+            after_part = kway_refine(h, part, k, cfg, as_rng(seed + 99))
+            assert cutsize_connectivity(h, after_part) <= before
+
+    def test_preserves_balance_feasibility(self):
+        cfg = PartitionerConfig(epsilon=0.05)
+        h = hypergraph_from_netlists(40, [[i, (i + 1) % 40] for i in range(40)])
+        k = 4
+        part = np.repeat(np.arange(k), 10)
+        new = kway_refine(h, part, k, cfg, as_rng(0))
+        assert imbalance(h, new, k) <= 0.05 + 1e-9
+
+    def test_fixes_obvious_misplacement(self):
+        # 4 cliques perfectly partitioned except one vertex
+        nets = [list(range(b * 5, b * 5 + 5)) for b in range(4)]
+        h = hypergraph_from_netlists(20, nets)
+        part = np.repeat(np.arange(4), 5)
+        part[0] = 1  # misplace vertex 0
+        cfg = PartitionerConfig(epsilon=0.30)
+        new = kway_refine(h, part, 4, cfg, as_rng(1))
+        assert cutsize_connectivity(h, new) == 0
+
+    def test_respects_fixed(self):
+        h = random_hypergraph(as_rng(2), 20, 15)
+        part = as_rng(3).integers(0, 3, size=20)
+        fixed = np.full(20, -1, dtype=np.int64)
+        fixed[:4] = part[:4]
+        cfg = PartitionerConfig(epsilon=0.5)
+        new = kway_refine(h, part, 3, cfg, as_rng(4), fixed=fixed)
+        assert np.array_equal(new[:4], part[:4])
+
+    def test_k1_noop(self):
+        h = random_hypergraph(as_rng(5), 10, 8)
+        part = np.zeros(10, dtype=np.int64)
+        new = kway_refine(h, part, 1, PartitionerConfig(), as_rng(6))
+        assert np.array_equal(new, part)
+
+    @given(hypergraphs(weighted=True), st.integers(2, 4), st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_property_never_worse(self, h, k, seed):
+        rng = as_rng(seed)
+        part = rng.integers(0, k, size=h.num_vertices)
+        cfg = PartitionerConfig(epsilon=1.0)  # no balance restriction
+        new = kway_refine(h, part, k, cfg, rng)
+        assert cutsize_connectivity(h, new) <= cutsize_connectivity(h, part)

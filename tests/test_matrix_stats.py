@@ -1,0 +1,53 @@
+"""Tests for matrix structural statistics (Table 1 columns)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrix import matrix_stats
+
+
+class TestMatrixStats:
+    def test_known_matrix(self):
+        a = sp.csr_matrix(np.array([
+            [1.0, 2.0, 0.0],
+            [0.0, 3.0, 0.0],
+            [4.0, 5.0, 6.0],
+        ]))
+        s = matrix_stats(a, "t")
+        assert s.rows == s.cols == 3
+        assert s.nnz == 6
+        assert s.avg_per_rowcol == pytest.approx(2.0)
+        assert s.min_per_rowcol == 1   # row 1 / col 2 have 1
+        assert s.max_per_rowcol == 3   # row 2 and col 1 have 3
+        assert s.nnz_diag == 3
+
+    def test_min_over_both_axes(self):
+        # column 0 empty in this matrix? no — make col 1 sparse
+        a = sp.csr_matrix(np.array([
+            [1.0, 0.0],
+            [1.0, 1.0],
+        ]))
+        s = matrix_stats(a)
+        assert s.min_per_rowcol == 1
+        assert s.max_per_rowcol == 2
+
+    def test_explicit_zeros_eliminated(self):
+        a = sp.csr_matrix((np.array([1.0, 0.0]), (np.array([0, 1]), np.array([0, 1]))), shape=(2, 2))
+        s = matrix_stats(a)
+        assert s.nnz == 1
+        assert s.min_per_rowcol == 0  # row/col 1 became empty
+
+    def test_rectangular(self):
+        a = sp.csr_matrix(np.ones((2, 4)))
+        s = matrix_stats(a)
+        assert s.rows == 2 and s.cols == 4
+        assert s.nnz_diag == 0  # diag undefined off-square, reported as 0
+        assert s.min_per_rowcol == 2  # columns have 2 each
+        assert s.max_per_rowcol == 4  # rows have 4 each
+
+    def test_table1_row_format(self):
+        a = sp.eye(3, format="csr")
+        row = matrix_stats(a, "eye3").table1_row()
+        assert row.startswith("eye3")
+        assert "1.00" in row

@@ -1,0 +1,173 @@
+"""Tests for the baseline models: 1D hypergraph models, standard graph
+model, and the generic reduction-problem model."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+
+from repro.models import (
+    ReductionProblem,
+    build_columnnet_model,
+    build_reduction_hypergraph,
+    build_rownet_model,
+    build_standard_graph_model,
+)
+from repro.partitioner import partition_hypergraph
+from tests.conftest import sparse_square_matrices
+
+
+class TestColumnNetModel:
+    def test_structure(self, paper_figure1_matrix):
+        a = paper_figure1_matrix
+        model = build_columnnet_model(a)
+        h = model.hypergraph
+        assert model.orientation == "row"
+        assert h.num_vertices == a.shape[0]
+        assert h.num_nets == a.shape[1]
+
+    def test_vertex_weights_are_row_nnz(self, paper_figure1_matrix):
+        model = build_columnnet_model(paper_figure1_matrix)
+        row_nnz = np.diff(sp.csr_matrix(paper_figure1_matrix).indptr)
+        assert model.hypergraph.vertex_weights.tolist() == row_nnz.tolist()
+
+    def test_net_pins_are_column_pattern_plus_consistency(self):
+        a = sp.csr_matrix(np.array([
+            [1.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [1.0, 0.0, 1.0],
+        ]))
+        model = build_columnnet_model(a, consistency=True)
+        h = model.hypergraph
+        # column 1 pattern = {0}; consistency adds vertex 1
+        assert sorted(h.pins_of(1).tolist()) == [0, 1]
+        # column 0 pattern = {0, 2}; a_00 != 0 so nothing added
+        assert sorted(h.pins_of(0).tolist()) == [0, 2]
+
+    def test_without_consistency(self):
+        a = sp.csr_matrix(np.array([
+            [1.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [1.0, 0.0, 1.0],
+        ]))
+        model = build_columnnet_model(a, consistency=False)
+        assert sorted(model.hypergraph.pins_of(1).tolist()) == [0]
+
+    @given(sparse_square_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_property_total_weight_is_nnz(self, a):
+        model = build_columnnet_model(a)
+        a2 = sp.csr_matrix(a)
+        a2.eliminate_zeros()
+        assert model.hypergraph.total_vertex_weight() == a2.nnz
+
+
+class TestRowNetModel:
+    def test_is_dual_of_columnnet_on_transpose(self, small_sparse_matrix):
+        a = small_sparse_matrix
+        mr = build_rownet_model(a)
+        mc = build_columnnet_model(sp.csr_matrix(a).T)
+        assert mr.orientation == "col"
+        assert mr.hypergraph == mc.hypergraph
+
+    def test_vertex_weights_are_col_nnz(self, paper_figure1_matrix):
+        model = build_rownet_model(paper_figure1_matrix)
+        col_nnz = np.bincount(
+            sp.coo_matrix(paper_figure1_matrix).col, minlength=5
+        )
+        assert model.hypergraph.vertex_weights.tolist() == col_nnz.tolist()
+
+
+class TestStandardGraphModel:
+    def test_symmetric_matrix(self):
+        a = sp.csr_matrix(np.array([
+            [1.0, 2.0, 0.0],
+            [2.0, 1.0, 3.0],
+            [0.0, 3.0, 1.0],
+        ]))
+        model = build_standard_graph_model(a)
+        g = model.graph
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        # both directions stored -> edge weight 2
+        assert set(g.adjwgt.tolist()) == {2}
+
+    def test_nonsymmetric_edge_costs(self):
+        a = sp.csr_matrix(np.array([
+            [1.0, 1.0],
+            [0.0, 1.0],
+        ]))
+        g = build_standard_graph_model(a).graph
+        # only a_01 stored -> edge weight 1
+        assert g.adjwgt.tolist() == [1, 1]
+
+    def test_vertex_weights_are_row_nnz(self, paper_figure1_matrix):
+        model = build_standard_graph_model(paper_figure1_matrix)
+        row_nnz = np.diff(sp.csr_matrix(paper_figure1_matrix).indptr)
+        assert model.graph.vwgt.tolist() == row_nnz.tolist()
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            build_standard_graph_model(sp.csr_matrix((2, 3)))
+
+
+class TestReductionModel:
+    def make_problem(self):
+        # 4 tasks, 3 inputs, 2 outputs
+        return ReductionProblem(
+            n_inputs=3,
+            n_outputs=2,
+            task_inputs=((0,), (0, 1), (1, 2), (2,)),
+            task_outputs=((0,), (0,), (1,), (1,)),
+        )
+
+    def test_structure(self):
+        p = self.make_problem()
+        h, task_ids = build_reduction_hypergraph(p)
+        assert h.num_vertices == 4
+        assert h.num_nets == 5  # 2 output + 3 input nets
+        assert task_ids.tolist() == [0, 1, 2, 3]
+        # output net 0 pins tasks 0 and 1
+        assert h.pins_of(0).tolist() == [0, 1]
+        # input net for input 1 (net id 2+1=3) pins tasks 1 and 2
+        assert h.pins_of(3).tolist() == [1, 2]
+
+    def test_preassignment_adds_fixed_part_vertices(self):
+        p = self.make_problem()
+        h, task_ids = build_reduction_hypergraph(
+            p, k=2, input_assignment=[0, -1, 1], output_assignment=[-1, 1]
+        )
+        assert h.num_vertices == 6  # 4 tasks + 2 part vertices
+        assert h.fixed.tolist() == [-1, -1, -1, -1, 0, 1]
+        # part vertex 0 (vertex 4) pins the net of input 0 (net 2)
+        assert 4 in h.pins_of(2).tolist()
+        # part vertex 1 (vertex 5) pins input net 2 (net 4) and output net 1
+        assert 5 in h.pins_of(4).tolist()
+        assert 5 in h.pins_of(1).tolist()
+        # part vertices carry no weight
+        assert h.vertex_weights[4:].tolist() == [0, 0]
+
+    def test_partitioning_respects_preassignment(self):
+        p = self.make_problem()
+        h, task_ids = build_reduction_hypergraph(
+            p, k=2, input_assignment=[0, -1, 1], output_assignment=[0, 1]
+        )
+        res = partition_hypergraph(h, 2, seed=0)
+        assert res.part[4] == 0 and res.part[5] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="out of range"):
+            ReductionProblem(1, 1, ((5,),), ((0,),))
+        with pytest.raises(ValueError, match="align"):
+            ReductionProblem(1, 1, ((0,),), ())
+        p = self.make_problem()
+        with pytest.raises(ValueError, match="k is required"):
+            build_reduction_hypergraph(p, input_assignment=[0, 0, 0])
+
+    def test_duplicate_pins_deduped(self):
+        p = ReductionProblem(
+            n_inputs=1, n_outputs=1,
+            task_inputs=((0, 0),), task_outputs=((0,),),
+        )
+        h, _ = build_reduction_hypergraph(p)
+        assert h.pins_of(1).tolist() == [0]

@@ -1,0 +1,89 @@
+"""Tests for the transcribed paper data and the EXPERIMENTS.md writer."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.bench.experiments import render_experiments_md
+from repro.bench.paper_data import PAPER_OVERALL, PAPER_TABLE2, paper_row
+from repro.bench.runner import InstanceResult
+from repro.matrix.collection import collection_names
+
+
+class TestPaperTable2:
+    def test_full_grid_transcribed(self):
+        """14 matrices x 3 K x 3 models = 126 cell blocks."""
+        assert len(PAPER_TABLE2) == 126
+        matrices = {r.matrix for r in PAPER_TABLE2}
+        assert matrices == set(collection_names())
+        assert {r.k for r in PAPER_TABLE2} == {16, 32, 64}
+
+    def test_lookup(self):
+        r = paper_row("ken-11", 16, "finegrain2d")
+        assert r.tot == 0.14 and r.msgs == 10.79
+        with pytest.raises(KeyError):
+            paper_row("nope", 16, "graph")
+
+    def test_averages_match_paper_overall(self):
+        """Recomputing the overall averages from the transcribed per-instance
+        data must land on the paper's own 'overall average' row — a strong
+        transcription check."""
+        for model, (tot, mx, msgs, _time) in PAPER_OVERALL.items():
+            rows = [r for r in PAPER_TABLE2 if r.model == model]
+            assert len(rows) == 42
+            assert np.mean([r.tot for r in rows]) == pytest.approx(tot, abs=0.011)
+            assert np.mean([r.max for r in rows]) == pytest.approx(mx, abs=0.011)
+            assert np.mean([r.msgs for r in rows]) == pytest.approx(msgs, abs=0.05)
+
+    def test_headline_claims_hold_in_paper_data(self):
+        """The paper's §4 claims must follow from its own Table 2."""
+        tot = {
+            m: np.mean([r.tot for r in PAPER_TABLE2 if r.model == m])
+            for m in ("graph", "hypergraph1d", "finegrain2d")
+        }
+        impr_g = 100 * (tot["graph"] - tot["finegrain2d"]) / tot["graph"]
+        impr_h = 100 * (tot["hypergraph1d"] - tot["finegrain2d"]) / tot["hypergraph1d"]
+        assert impr_g == pytest.approx(59, abs=2)
+        assert impr_h == pytest.approx(43, abs=2)
+
+    def test_finegrain_wins_every_instance(self):
+        """Table 2: 2D never loses on total volume (§4: 'substantially
+        better partitions ... at each instance')."""
+        by = {(r.matrix, r.k, r.model): r for r in PAPER_TABLE2}
+        for (matrix, k, model), r in by.items():
+            if model != "finegrain2d":
+                continue
+            assert r.tot <= by[(matrix, k, "graph")].tot
+            assert r.tot <= by[(matrix, k, "hypergraph1d")].tot
+
+    def test_message_bounds_in_paper_data(self):
+        for r in PAPER_TABLE2:
+            bound = 2 * (r.k - 1) if r.model == "finegrain2d" else r.k - 1
+            assert r.msgs <= bound + 1e-9
+
+
+class TestExperimentsWriter:
+    def make_results(self):
+        out = []
+        for model, tot in [("graph", 0.5), ("hypergraph1d", 0.4), ("finegrain2d", 0.2)]:
+            out.append(
+                InstanceResult("sherman3", 16, model, 2, tot, tot / 4,
+                               5.0, 0.5 if model == "graph" else 1.5, 0.01, 100)
+            )
+        return out
+
+    def test_renders_measured_and_paper(self):
+        a = sp.eye(10, format="csr")
+        text = render_experiments_md(
+            self.make_results(), {"sherman3": a}, scale=0.1, n_seeds=2
+        )
+        assert "# EXPERIMENTS" in text
+        assert "0.20 (0.25)" in text  # measured (paper) for finegrain tot
+        assert "Table 1" in text and "Table 2" in text
+        assert "headline claims" in text
+
+    def test_handles_unknown_matrix(self):
+        a = sp.eye(4, format="csr")
+        results = [InstanceResult("custom", 16, "graph", 1, 0.3, 0.1, 4.0, 0.2, 0.0, 9)]
+        text = render_experiments_md(results, {"custom": a}, 0.5, 1)
+        assert "custom" in text

@@ -1,0 +1,55 @@
+"""Tests for the process-parallel SpMV executor."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import (
+    build_finegrain_model,
+    decomposition_from_finegrain,
+    decomposition_from_row_partition,
+)
+from repro.spmv import build_comm_plan
+from repro.spmv.parallel import parallel_spmv
+
+
+def finegrain_dec(a, k, seed=0):
+    model = build_finegrain_model(a)
+    rng = np.random.default_rng(seed)
+    part = rng.integers(0, k, size=model.hypergraph.num_vertices)
+    return decomposition_from_finegrain(model, part, k)
+
+
+class TestParallelSpmv:
+    def test_matches_serial(self, small_sparse_matrix):
+        dec = finegrain_dec(small_sparse_matrix, 4)
+        x = np.random.default_rng(1).standard_normal(30)
+        y = parallel_spmv(dec, x)
+        assert np.allclose(y, small_sparse_matrix @ x)
+
+    def test_rowwise_decomposition(self, small_sparse_matrix):
+        m = small_sparse_matrix.shape[0]
+        dec = decomposition_from_row_partition(
+            small_sparse_matrix, np.arange(m) % 3, 3
+        )
+        x = np.random.default_rng(2).standard_normal(m)
+        assert np.allclose(parallel_spmv(dec, x), small_sparse_matrix @ x)
+
+    def test_reused_plan(self, small_sparse_matrix):
+        dec = finegrain_dec(small_sparse_matrix, 4, seed=3)
+        plan = build_comm_plan(dec)
+        rng = np.random.default_rng(4)
+        a = small_sparse_matrix
+        for _ in range(2):
+            x = rng.standard_normal(30)
+            assert np.allclose(parallel_spmv(dec, x, plan=plan), a @ x)
+
+    def test_single_processor(self, small_sparse_matrix):
+        dec = finegrain_dec(small_sparse_matrix, 1)
+        x = np.ones(30)
+        assert np.allclose(parallel_spmv(dec, x), small_sparse_matrix @ x)
+
+    def test_wrong_x_shape(self, small_sparse_matrix):
+        dec = finegrain_dec(small_sparse_matrix, 2)
+        with pytest.raises(ValueError, match="wrong shape"):
+            parallel_spmv(dec, np.zeros(5))

@@ -1,0 +1,86 @@
+"""Tests for partition-file I/O and the CSV/LaTeX exporters."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.bench.export import results_to_csv, results_to_latex
+from repro.bench.runner import InstanceResult
+from repro.hypergraph.partfile import read_partition, write_partition
+
+
+class TestPartitionFile:
+    def test_roundtrip(self):
+        part = np.array([0, 3, 1, 2, 2, 0])
+        buf = io.StringIO()
+        write_partition(part, buf, comment="K=4 test")
+        buf.seek(0)
+        back = read_partition(buf, expected_length=6)
+        assert np.array_equal(back, part)
+
+    def test_file_path(self, tmp_path):
+        p = tmp_path / "x.part.4"
+        write_partition(np.array([1, 0]), p)
+        assert read_partition(p).tolist() == [1, 0]
+
+    def test_comments_skipped(self):
+        buf = io.StringIO("% comment\n# another\n0\n1\n")
+        assert read_partition(buf).tolist() == [0, 1]
+
+    def test_length_validated(self):
+        buf = io.StringIO("0\n1\n")
+        with pytest.raises(ValueError, match="expected 3"):
+            read_partition(buf, expected_length=3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            read_partition(io.StringIO("-1\n"))
+
+    def test_metis_style_extra_columns(self):
+        # some tools append extra per-line columns; first wins
+        buf = io.StringIO("2 0.5\n1 0.2\n")
+        assert read_partition(buf).tolist() == [2, 1]
+
+
+def sample_results():
+    out = []
+    for model, tot in (("graph", 0.31), ("hypergraph1d", 0.25), ("finegrain2d", 0.25)):
+        out.append(
+            InstanceResult("sherman3", 16, model, 2, tot, tot / 4, 5.0, 0.7, 0.01, 42)
+        )
+    out.append(
+        InstanceResult("custom", 16, "graph", 1, 0.5, 0.1, 3.0, 0.2, 0.0, 9)
+    )
+    return out
+
+
+class TestCsvExport:
+    def test_columns_and_paper_values(self):
+        text = results_to_csv(sample_results())
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("matrix,k,model")
+        assert len(lines) == 5
+        # paper value for sherman3/16/graph is 0.31
+        row = next(l for l in lines if l.startswith("sherman3,16,graph"))
+        assert ",0.31," in row
+
+    def test_unknown_matrix_blank_paper_cells(self):
+        text = results_to_csv(sample_results())
+        row = next(l for l in text.splitlines() if l.startswith("custom"))
+        assert row.endswith(",,,") or row.endswith(",,")
+
+
+class TestLatexExport:
+    def test_structure(self):
+        text = results_to_latex(sample_results())
+        assert r"\begin{tabular}" in text and r"\bottomrule" in text
+        assert "2D fine-grain" in text
+        assert "sherman3 & 16" in text
+
+    def test_missing_cells_dashed(self):
+        text = results_to_latex(sample_results())
+        custom_line = next(
+            l for l in text.splitlines() if l.startswith("custom")
+        )
+        assert "--" in custom_line

@@ -1,0 +1,157 @@
+"""Tests for partition quality metrics (Eqs. 1-3 of the paper)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import (
+    Partition,
+    compute_part_weights,
+    cutsize_connectivity,
+    cutsize_cutnet,
+    external_nets,
+    hypergraph_from_netlists,
+    imbalance,
+    is_balanced,
+    net_connectivities,
+    validate_partition,
+)
+from repro.hypergraph.partition import net_connectivity_sets
+from tests.conftest import hypergraphs
+
+
+def brute_force_connectivity(h, part):
+    """Reference implementation: per-net set of parts."""
+    return [len({int(part[v]) for v in h.pins_of(j)}) for j in range(h.num_nets)]
+
+
+class TestConnectivity:
+    def test_hand_example(self, tiny_hypergraph):
+        part = np.array([0, 0, 1, 1])
+        lam = net_connectivities(tiny_hypergraph, part)
+        assert lam.tolist() == [1, 2, 1]
+
+    def test_three_parts(self):
+        h = hypergraph_from_netlists(6, [[0, 2, 4], [1, 3, 5], [0, 1]])
+        part = np.array([0, 0, 1, 1, 2, 2])
+        assert net_connectivities(h, part).tolist() == [3, 3, 1]
+
+    def test_connectivity_sets(self, tiny_hypergraph):
+        part = np.array([0, 1, 1, 2])
+        sets = net_connectivity_sets(tiny_hypergraph, part)
+        assert [s.tolist() for s in sets] == [[0, 1], [1, 2], [1, 2]]
+
+    @given(hypergraphs(), st.integers(1, 4), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_bruteforce(self, h, k, data):
+        part = np.asarray(
+            data.draw(
+                st.lists(st.integers(0, k - 1), min_size=h.num_vertices,
+                         max_size=h.num_vertices)
+            ),
+            dtype=np.int64,
+        )
+        assert net_connectivities(h, part).tolist() == brute_force_connectivity(h, part)
+
+
+class TestCutsizes:
+    def test_eq2_and_eq3_on_example(self):
+        # one net over 3 parts: Eq2 charges cost once, Eq3 charges twice
+        h = hypergraph_from_netlists(3, [[0, 1, 2]], net_costs=[5])
+        part = np.array([0, 1, 2])
+        assert cutsize_cutnet(h, part) == 5
+        assert cutsize_connectivity(h, part) == 10
+
+    def test_uncut_is_free(self, tiny_hypergraph):
+        part = np.zeros(4, dtype=int)
+        assert cutsize_cutnet(tiny_hypergraph, part) == 0
+        assert cutsize_connectivity(tiny_hypergraph, part) == 0
+
+    def test_external_nets(self, tiny_hypergraph):
+        part = np.array([0, 0, 1, 1])
+        assert external_nets(tiny_hypergraph, part).tolist() == [1]
+
+    @given(hypergraphs(weighted=True), st.integers(2, 4), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_property_eq3_dominates_eq2(self, h, k, data):
+        part = np.asarray(
+            data.draw(
+                st.lists(st.integers(0, k - 1), min_size=h.num_vertices,
+                         max_size=h.num_vertices)
+            ),
+            dtype=np.int64,
+        )
+        assert cutsize_connectivity(h, part) >= cutsize_cutnet(h, part)
+
+    @given(hypergraphs(), st.integers(2, 4), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_property_eq3_bounded_by_k_minus_1(self, h, k, data):
+        part = np.asarray(
+            data.draw(
+                st.lists(st.integers(0, k - 1), min_size=h.num_vertices,
+                         max_size=h.num_vertices)
+            ),
+            dtype=np.int64,
+        )
+        # with unit costs: each net contributes at most (k-1)
+        assert cutsize_connectivity(h, part) <= h.num_nets * (k - 1)
+
+
+class TestBalance:
+    def test_part_weights(self, tiny_hypergraph):
+        part = np.array([0, 0, 1, 1])
+        assert compute_part_weights(tiny_hypergraph, part, 2).tolist() == [2, 2]
+
+    def test_imbalance_perfect(self, tiny_hypergraph):
+        part = np.array([0, 0, 1, 1])
+        assert imbalance(tiny_hypergraph, part, 2) == 0.0
+
+    def test_imbalance_skewed(self, tiny_hypergraph):
+        part = np.array([0, 0, 0, 1])
+        # weights (3, 1), avg 2 -> (3-2)/2 = 0.5
+        assert imbalance(tiny_hypergraph, part, 2) == pytest.approx(0.5)
+
+    def test_is_balanced_eq1(self, tiny_hypergraph):
+        part = np.array([0, 0, 0, 1])
+        assert is_balanced(tiny_hypergraph, part, 2, epsilon=0.5)
+        assert not is_balanced(tiny_hypergraph, part, 2, epsilon=0.4)
+
+    def test_zero_weight_vertices_free(self):
+        h = hypergraph_from_netlists(3, [[0, 1, 2]], vertex_weights=[1, 1, 0])
+        part = np.array([0, 1, 1])
+        assert imbalance(h, part, 2) == 0.0
+
+
+class TestValidatePartition:
+    def test_ok(self, tiny_hypergraph):
+        validate_partition(tiny_hypergraph, np.array([0, 1, 0, 1]), 2)
+
+    def test_wrong_length(self, tiny_hypergraph):
+        with pytest.raises(ValueError, match="wrong length"):
+            validate_partition(tiny_hypergraph, np.array([0, 1]), 2)
+
+    def test_out_of_range(self, tiny_hypergraph):
+        with pytest.raises(ValueError, match="out of range"):
+            validate_partition(tiny_hypergraph, np.array([0, 1, 2, 0]), 2)
+
+    def test_fixed_violation(self):
+        h = hypergraph_from_netlists(2, [[0, 1]], fixed=[1, -1])
+        with pytest.raises(ValueError, match="fixed"):
+            validate_partition(h, np.array([0, 0]), 2)
+        validate_partition(h, np.array([1, 0]), 2)
+
+
+class TestPartitionObject:
+    def test_bind_and_metrics(self, tiny_hypergraph):
+        p = Partition(np.array([0, 0, 1, 1]), 2).bind(tiny_hypergraph)
+        assert p.cutsize == 1
+        assert p.cutsize_cutnet == 1
+        assert p.imbalance == 0.0
+        assert p.part_weights.tolist() == [2, 2]
+        assert p.is_balanced(0.0)
+
+    def test_unbound_raises(self):
+        p = Partition(np.array([0, 1]), 2)
+        with pytest.raises(RuntimeError, match="not bound"):
+            _ = p.cutsize

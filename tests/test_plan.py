@@ -1,0 +1,106 @@
+"""Tests for the communication-plan compiler (plan == simulator, exactly)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    build_finegrain_model,
+    decomposition_from_finegrain,
+    decomposition_from_row_partition,
+)
+from repro.spmv import build_comm_plan, communication_stats, execute_plan
+from tests.conftest import sparse_square_matrices
+
+
+def random_finegrain_dec(a, k, seed):
+    model = build_finegrain_model(a)
+    rng = np.random.default_rng(seed)
+    part = rng.integers(0, k, size=model.hypergraph.num_vertices)
+    return decomposition_from_finegrain(model, part, k)
+
+
+class TestPlanConstruction:
+    def test_ownership_partitions(self, small_sparse_matrix):
+        dec = random_finegrain_dec(small_sparse_matrix, 4, 0)
+        plan = build_comm_plan(dec)
+        all_nnz = np.concatenate([p.local_nnz for p in plan.processors])
+        assert sorted(all_nnz.tolist()) == list(range(dec.nnz))
+        all_x = np.concatenate([p.x_owned for p in plan.processors])
+        assert sorted(all_x.tolist()) == list(range(dec.m))
+
+    def test_send_recv_mirror(self, small_sparse_matrix):
+        dec = random_finegrain_dec(small_sparse_matrix, 4, 1)
+        plan = build_comm_plan(dec)
+        for p in plan.processors:
+            for dst, cols in p.expand_send.items():
+                mirror = plan.processors[dst].expand_recv[p.rank]
+                assert np.array_equal(cols, mirror)
+            for dst, rows in p.fold_send.items():
+                mirror = plan.processors[dst].fold_recv[p.rank]
+                assert np.array_equal(rows, mirror)
+
+    def test_x_needed_covers_local_columns(self, small_sparse_matrix):
+        dec = random_finegrain_dec(small_sparse_matrix, 3, 2)
+        plan = build_comm_plan(dec)
+        for p in plan.processors:
+            needed = set(p.x_needed.tolist())
+            local_cols = set(dec.nnz_col[p.local_nnz].tolist())
+            assert local_cols <= needed
+
+    def test_per_processor_counters(self, small_sparse_matrix):
+        dec = random_finegrain_dec(small_sparse_matrix, 4, 3)
+        plan = build_comm_plan(dec)
+        stats = plan.stats()
+        for p in plan.processors:
+            assert p.send_words == int(
+                stats.expand_sent[p.rank] + stats.fold_sent[p.rank]
+            )
+            assert p.recv_words == int(
+                stats.expand_recv[p.rank] + stats.fold_recv[p.rank]
+            )
+            assert p.n_messages == int(
+                stats.expand_msgs[p.rank] + stats.fold_msgs[p.rank]
+            )
+
+
+class TestPlanEqualsSimulator:
+    @given(sparse_square_matrices(), st.integers(1, 5), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_stats_identical(self, a, k, seed):
+        dec = random_finegrain_dec(a, k, seed)
+        sim = communication_stats(dec)
+        pln = build_comm_plan(dec).stats()
+        for field in (
+            "expand_sent", "expand_recv", "expand_msgs",
+            "fold_sent", "fold_recv", "fold_msgs", "compute",
+        ):
+            assert np.array_equal(getattr(sim, field), getattr(pln, field)), field
+
+    @given(sparse_square_matrices(), st.integers(1, 4), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_execution_exact(self, a, k, seed):
+        a2 = sp.csr_matrix(a)
+        a2.eliminate_zeros()
+        dec = random_finegrain_dec(a2, k, seed)
+        plan = build_comm_plan(dec)
+        x = np.random.default_rng(seed).standard_normal(dec.m)
+        y = execute_plan(plan, dec, x)
+        assert np.allclose(y, a2 @ x)
+
+    def test_rowwise_plan_has_no_fold(self, small_sparse_matrix):
+        m = small_sparse_matrix.shape[0]
+        dec = decomposition_from_row_partition(
+            small_sparse_matrix, np.arange(m) % 4, 4
+        )
+        plan = build_comm_plan(dec)
+        for p in plan.processors:
+            assert not p.fold_send and not p.fold_recv
+
+    def test_wrong_x_shape(self, small_sparse_matrix):
+        dec = random_finegrain_dec(small_sparse_matrix, 2, 0)
+        plan = build_comm_plan(dec)
+        with pytest.raises(ValueError, match="wrong shape"):
+            execute_plan(plan, dec, np.zeros(3))

@@ -1,0 +1,118 @@
+"""Tests for rectangular-matrix decompositions (the §3 general reduction).
+
+The consistency-free fine-grain model for M x N matrices: no symmetric
+vector distribution exists (inputs and outputs are distinct element sets),
+but the volume theorem still holds when every vector entry is assigned to
+a part of its net's connectivity set.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import decompose_2d_rectangular
+from repro.core import build_finegrain_model, decomposition_from_finegrain_rect
+from repro.core.decomposition import Decomposition
+from repro.core.vectordist import build_vector_distribution
+from repro.hypergraph.partition import net_connectivities
+from repro.spmv import build_comm_plan, communication_stats, execute_plan, simulate_spmv
+
+
+@st.composite
+def rect_matrices(draw, max_dim: int = 12):
+    m = draw(st.integers(2, max_dim))
+    n = draw(st.integers(2, max_dim))
+    seed = draw(st.integers(0, 2**31 - 1))
+    density = draw(st.floats(0.1, 0.5))
+    rng = np.random.default_rng(seed)
+    a = sp.random(m, n, density=density, random_state=rng, format="csr")
+    if a.nnz == 0:
+        a = sp.csr_matrix(([1.0], ([0], [0])), shape=(m, n))
+    return a
+
+
+def random_rect_dec(a, k, seed):
+    model = build_finegrain_model(a, consistency=False)
+    rng = np.random.default_rng(seed)
+    part = rng.integers(0, k, size=model.hypergraph.num_vertices)
+    return model, part, decomposition_from_finegrain_rect(model, part, k)
+
+
+class TestRectModel:
+    def test_shape_fields(self):
+        a = sp.random(6, 9, density=0.4, random_state=0, format="csr")
+        model = build_finegrain_model(a, consistency=False)
+        assert model.m == 6 and model.n_cols == 9
+        assert model.hypergraph.num_nets == 15
+
+    def test_consistency_requires_square(self):
+        a = sp.random(3, 5, density=0.5, random_state=1, format="csr")
+        with pytest.raises(ValueError, match="square"):
+            build_finegrain_model(a, consistency=True)
+
+
+class TestRectVolumeTheorem:
+    @given(rect_matrices(), st.integers(2, 5), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_cutsize_equals_volume(self, a, k, seed):
+        """Majority-owner decode keeps volume == cutsize for rectangles."""
+        model, part, dec = random_rect_dec(a, k, seed)
+        lam = net_connectivities(model.hypergraph, part)
+        cutsize = int((lam[lam > 0] - 1).sum())
+        assert communication_stats(dec).total_volume == cutsize
+
+    @given(rect_matrices(), st.integers(1, 4), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_numerics(self, a, k, seed):
+        _, _, dec = random_rect_dec(a, k, seed)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(a.shape[1])
+        assert np.allclose(simulate_spmv(dec, x).y, a @ x)
+
+    @given(rect_matrices(), st.integers(1, 4), st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_plan_agrees(self, a, k, seed):
+        _, _, dec = random_rect_dec(a, k, seed)
+        plan = build_comm_plan(dec)
+        x = np.random.default_rng(seed).standard_normal(a.shape[1])
+        assert np.allclose(execute_plan(plan, dec, x), sp.csr_matrix(a) @ x)
+        assert plan.stats().total_volume == communication_stats(dec).total_volume
+
+
+class TestRectApi:
+    def test_end_to_end(self):
+        rng = np.random.default_rng(0)
+        a = sp.random(60, 90, density=0.05, random_state=rng, format="csr")
+        dec, info = decompose_2d_rectangular(a, 4, seed=0)
+        assert dec.shape == (60, 90)
+        assert not dec.is_symmetric()
+        stats = communication_stats(dec)
+        assert stats.total_volume == info.cutsize
+        x = rng.standard_normal(90)
+        assert np.allclose(simulate_spmv(dec, x).y, a @ x)
+
+    def test_vector_distribution_over_columns(self):
+        a = sp.random(20, 35, density=0.15, random_state=1, format="csr")
+        dec, _ = decompose_2d_rectangular(a, 3, seed=0)
+        dist = build_vector_distribution(dec)
+        all_owned = np.concatenate([l.owned for l in dist.layouts])
+        assert sorted(all_owned.tolist()) == list(range(35))
+        assert dist.total_ghosts() == communication_stats(dec).expand_volume
+
+    def test_x_shape_validated(self):
+        a = sp.random(5, 8, density=0.5, random_state=2, format="csr")
+        dec, _ = decompose_2d_rectangular(a, 2, seed=0)
+        with pytest.raises(ValueError, match="wrong shape"):
+            simulate_spmv(dec, np.zeros(5))  # rows-length x must be rejected
+
+    def test_decomposition_validates_rect_lengths(self):
+        with pytest.raises(ValueError, match="x_owner"):
+            Decomposition(
+                k=1, m=2, n=3,
+                nnz_row=np.array([0]), nnz_col=np.array([0]),
+                nnz_val=np.array([1.0]), nnz_owner=np.array([0]),
+                x_owner=np.zeros(2, dtype=np.int64),  # wrong: must be 3
+                y_owner=np.zeros(2, dtype=np.int64),
+            )

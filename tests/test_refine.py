@@ -1,0 +1,138 @@
+"""Tests for FM bisection refinement (invariant 6 of DESIGN.md)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import as_rng
+from repro.hypergraph import cutsize_connectivity, hypergraph_from_netlists
+from repro.hypergraph.partition import compute_part_weights
+from repro.partitioner.config import PartitionerConfig
+from repro.partitioner.refine import FMCore, fm_refine_bisection
+from tests.conftest import hypergraphs, random_hypergraph
+
+
+def excess(h, part, maxw):
+    w = compute_part_weights(h, part, 2)
+    return max(0, int(w[0]) - maxw[0]) + max(0, int(w[1]) - maxw[1])
+
+
+class TestFMCore:
+    def test_cut_matches_metric(self):
+        h = random_hypergraph(as_rng(0), 20, 15)
+        part = as_rng(1).integers(0, 2, size=20)
+        core = FMCore(h, part)
+        assert core.cut() == cutsize_connectivity(h, part)
+
+    def test_gains_match_definition(self):
+        h = random_hypergraph(as_rng(2), 15, 12)
+        part = as_rng(3).integers(0, 2, size=15)
+        core = FMCore(h, part)
+        core.compute_all_gains()
+        base = cutsize_connectivity(h, part)
+        for v in range(15):
+            moved = part.copy()
+            moved[v] ^= 1
+            expected = base - cutsize_connectivity(h, moved)
+            assert core.gain[v] == expected, f"vertex {v}"
+
+    def test_apply_move_updates_incrementally(self):
+        h = random_hypergraph(as_rng(4), 15, 12)
+        part = as_rng(5).integers(0, 2, size=15)
+        core = FMCore(h, part)
+        core.compute_all_gains()
+        rng = as_rng(6)
+        cut = core.cut()
+        for _ in range(10):
+            v = int(rng.integers(15))
+            g = core.gain[v]
+            core.apply_move(v)
+            cut -= g
+            assert core.cut() == cut
+            # gains of free vertices must match a fresh recomputation
+            got = list(core.gain)
+            core.compute_all_gains()
+            assert got == core.gain
+
+    def test_undo_restores_state(self):
+        h = random_hypergraph(as_rng(7), 12, 10)
+        part = as_rng(8).integers(0, 2, size=12)
+        core = FMCore(h, part)
+        core.compute_all_gains()
+        before_pc = [list(core.pc[0]), list(core.pc[1])]
+        before_W = list(core.W)
+        core.apply_move(3)
+        core.undo_move(3)
+        assert core.part[3] == part[3]
+        assert [list(core.pc[0]), list(core.pc[1])] == before_pc
+        assert core.W == before_W
+
+
+class TestRefinement:
+    def test_never_worse(self):
+        rng = as_rng(10)
+        cfg = PartitionerConfig()
+        for seed in range(10):
+            h = random_hypergraph(as_rng(seed), 40, 35)
+            part = as_rng(seed + 100).integers(0, 2, size=40)
+            maxw = (25, 25)
+            before = cutsize_connectivity(h, part)
+            exc_before = excess(h, part, maxw)
+            new, cut = fm_refine_bisection(h, part, maxw, cfg, rng)
+            assert cutsize_connectivity(h, new) == cut
+            exc_after = excess(h, new, maxw)
+            assert exc_after <= exc_before
+            if exc_after == exc_before:
+                assert cut <= before
+
+    def test_finds_obvious_improvement(self):
+        # two cliques wired internally; a swapped pair should be repaired.
+        # One unit of balance slack is required: FM realizes the swap as two
+        # sequential moves through a (5, 3) intermediate state.
+        nets = [[0, 1, 2, 3], [4, 5, 6, 7]]
+        h = hypergraph_from_netlists(8, nets)
+        part = np.array([0, 0, 0, 1, 1, 1, 1, 0])  # 3 and 7 swapped
+        cfg = PartitionerConfig()
+        new, cut = fm_refine_bisection(h, part, (5, 5), cfg, as_rng(0))
+        assert cut == 0
+        assert excess(h, new, (5, 5)) == 0
+        assert len(set(new[:4].tolist())) == 1
+        assert len(set(new[4:].tolist())) == 1
+
+    def test_fixed_vertices_never_move(self):
+        h = random_hypergraph(as_rng(11), 30, 25)
+        part = as_rng(12).integers(0, 2, size=30)
+        fixed = np.full(30, -1, dtype=np.int64)
+        fixed[:5] = part[:5]
+        cfg = PartitionerConfig()
+        new, _ = fm_refine_bisection(h, part, (20, 20), cfg, as_rng(13), fixed=fixed)
+        assert np.array_equal(new[:5], part[:5])
+
+    def test_rebalances_infeasible_input(self):
+        h = hypergraph_from_netlists(10, [[i, (i + 1) % 10] for i in range(10)])
+        part = np.zeros(10, dtype=np.int64)  # everything on side 0
+        cfg = PartitionerConfig()
+        maxw = (6, 6)
+        new, _ = fm_refine_bisection(h, part, maxw, cfg, as_rng(0))
+        assert excess(h, new, maxw) == 0
+
+    def test_boundary_mode_consistent(self):
+        """Boundary-seeded FM must still report the true cutsize."""
+        h = random_hypergraph(as_rng(20), 60, 50)
+        part = as_rng(21).integers(0, 2, size=60)
+        cfg = PartitionerConfig(fm_boundary_threshold=10)  # force boundary mode
+        new, cut = fm_refine_bisection(h, part, (40, 40), cfg, as_rng(22))
+        assert cutsize_connectivity(h, new) == cut
+
+    @given(hypergraphs(weighted=True), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_property_reported_cut_is_true_cut(self, h, seed):
+        rng = as_rng(seed)
+        part = rng.integers(0, 2, size=h.num_vertices)
+        total = h.total_vertex_weight()
+        maxw = (total, total)  # no balance constraint: pure cut descent
+        cfg = PartitionerConfig(fm_passes=2)
+        new, cut = fm_refine_bisection(h, part, maxw, cfg, rng)
+        assert cutsize_connectivity(h, new) == cut
+        assert cut <= cutsize_connectivity(h, part)

@@ -1,0 +1,50 @@
+"""Tests for the Figure-1 dependency view and partition rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_finegrain_model, decomposition_from_finegrain
+from repro.core.render import render_dependency_view, render_partitioned_matrix
+
+
+class TestDependencyView:
+    def test_figure1_content(self, paper_figure1_matrix):
+        model = build_finegrain_model(paper_figure1_matrix)
+        text = render_dependency_view(model, row=1, col=3)
+        assert "column-net n_3" in text
+        assert "row-net m_1" in text
+        assert "3 pins" in text
+        assert "4 pins" in text
+        # the fold equation of Figure 1: y_1 = y_1^0 + y_1^1 + y_1^2 + y_1^3
+        assert "fold: y_1 = y_1^0 + y_1^1 + y_1^2 + y_1^3" in text
+
+    def test_dummy_marked(self, paper_figure1_matrix):
+        model = build_finegrain_model(paper_figure1_matrix)
+        # column 4 has only the off-diagonal (4,3): its diagonal is a dummy
+        text = render_dependency_view(model, row=4, col=4)
+        assert "(dummy)" in text
+
+    def test_out_of_range(self, paper_figure1_matrix):
+        model = build_finegrain_model(paper_figure1_matrix)
+        with pytest.raises(ValueError):
+            render_dependency_view(model, row=99, col=0)
+
+
+class TestPartitionedMatrix:
+    def test_render_grid(self, paper_figure1_matrix):
+        model = build_finegrain_model(paper_figure1_matrix)
+        part = np.zeros(model.hypergraph.num_vertices, dtype=np.int64)
+        part[0] = 1
+        dec = decomposition_from_finegrain(model, part, 2)
+        text = render_partitioned_matrix(dec)
+        lines = text.splitlines()
+        assert len(lines) == 5 + 2  # 5 matrix rows + 2 legend lines
+        assert set("".join(lines[:5])) <= set(".01")
+        assert lines[5].startswith("x owner:")
+
+    def test_too_large_rejected(self, small_sparse_matrix):
+        model = build_finegrain_model(small_sparse_matrix)
+        part = np.zeros(model.hypergraph.num_vertices, dtype=np.int64)
+        dec = decomposition_from_finegrain(model, part, 1)
+        with pytest.raises(ValueError, match="too large"):
+            render_partitioned_matrix(dec, max_size=10)

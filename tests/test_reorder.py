@@ -1,0 +1,86 @@
+"""Tests for matrix reordering (RCM, permutations, block order)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrix.generators import banded_fem_matrix, geometric_graph_matrix
+from repro.matrix.reorder import (
+    apply_symmetric_permutation,
+    bandwidth,
+    partition_block_order,
+    profile,
+    random_symmetric_permutation,
+    reverse_cuthill_mckee,
+)
+
+
+class TestMetrics:
+    def test_bandwidth(self):
+        a = sp.csr_matrix(np.array([[1, 0, 1], [0, 1, 0], [0, 0, 1]], dtype=float))
+        assert bandwidth(a) == 2
+
+    def test_bandwidth_empty(self):
+        assert bandwidth(sp.csr_matrix((3, 3))) == 0
+
+    def test_profile(self):
+        a = sp.csr_matrix(np.array([[1, 0, 0], [1, 1, 0], [1, 0, 1]], dtype=float))
+        # rows reach left by 0, 1, 2
+        assert profile(a) == 3
+
+
+class TestRCM:
+    def test_is_permutation(self):
+        a = geometric_graph_matrix(100, avg_degree=4, seed=0)
+        perm = reverse_cuthill_mckee(a)
+        assert sorted(perm.tolist()) == list(range(100))
+
+    def test_reduces_bandwidth_of_scrambled_band(self):
+        banded = banded_fem_matrix(200, bandwidth=8, avg_degree=6, seed=0)
+        scramble = random_symmetric_permutation(200, seed=1)
+        scrambled = apply_symmetric_permutation(banded, scramble)
+        assert bandwidth(scrambled) > bandwidth(banded)
+        perm = reverse_cuthill_mckee(scrambled)
+        restored = apply_symmetric_permutation(scrambled, perm)
+        assert bandwidth(restored) < bandwidth(scrambled) / 3
+
+    def test_disconnected_components(self):
+        a = sp.block_diag(
+            [sp.eye(3) + sp.diags([[1, 1]], offsets=[1], shape=(3, 3)),
+             sp.eye(4)],
+            format="csr",
+        )
+        perm = reverse_cuthill_mckee(a)
+        assert sorted(perm.tolist()) == list(range(7))
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            reverse_cuthill_mckee(sp.csr_matrix((2, 3)))
+
+
+class TestPermutations:
+    def test_random_symmetric_deterministic(self):
+        assert np.array_equal(
+            random_symmetric_permutation(10, seed=3),
+            random_symmetric_permutation(10, seed=3),
+        )
+
+    def test_apply_preserves_values(self, small_sparse_matrix):
+        perm = random_symmetric_permutation(30, seed=0)
+        b = apply_symmetric_permutation(small_sparse_matrix, perm)
+        assert b.nnz == small_sparse_matrix.nnz
+        # spectral fingerprint invariant under symmetric permutation
+        assert np.isclose(b.diagonal().sum(), small_sparse_matrix.diagonal().sum())
+
+    def test_partition_block_order_groups(self):
+        part = np.array([2, 0, 1, 0, 2, 1])
+        perm = partition_block_order(part, 3)
+        assert part[perm].tolist() == [0, 0, 1, 1, 2, 2]
+
+    def test_partition_block_order_validates(self):
+        with pytest.raises(ValueError):
+            partition_block_order(np.array([0, 5]), 2)
+
+    def test_apply_validates_length(self, small_sparse_matrix):
+        with pytest.raises(ValueError):
+            apply_symmetric_permutation(small_sparse_matrix, np.arange(5))

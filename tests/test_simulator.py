@@ -1,0 +1,179 @@
+"""Tests for the SpMV simulator — including the paper's central theorem.
+
+Invariants 1-3 and 7 of DESIGN.md live here:
+
+* cutsize (Eq. 3) of a consistent fine-grain partition == total simulated
+  communication volume, for *any* partition (not only optimized ones);
+* column-net cutsize == expand volume, row-net cutsize == fold volume;
+* 1D rowwise decompositions have zero fold volume and their column-net
+  model cutsize equals the expand volume;
+* the distributed multiply reproduces the serial product.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    build_finegrain_model,
+    decomposition_from_finegrain,
+    decomposition_from_row_partition,
+)
+from repro.hypergraph.partition import net_connectivities
+from repro.models import build_columnnet_model
+from repro.spmv import communication_stats, simulate_spmv
+from tests.conftest import sparse_square_matrices
+
+
+def finegrain_dec(a, k, seed):
+    model = build_finegrain_model(a)
+    rng = np.random.default_rng(seed)
+    part = rng.integers(0, k, size=model.hypergraph.num_vertices)
+    return model, part, decomposition_from_finegrain(model, part, k)
+
+
+class TestVolumeTheorem:
+    """The validity claim of §3, checked exactly."""
+
+    @given(sparse_square_matrices(), st.integers(2, 5), st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_property_cutsize_equals_volume(self, a, k, seed):
+        model, part, dec = finegrain_dec(a, k, seed)
+        h = model.hypergraph
+        lam = net_connectivities(h, part)
+        cutsize = int((lam[lam > 0] - 1).sum())
+        stats = communication_stats(dec)
+        assert stats.total_volume == cutsize
+
+    @given(sparse_square_matrices(), st.integers(2, 5), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_expand_is_colnets_fold_is_rownets(self, a, k, seed):
+        model, part, dec = finegrain_dec(a, k, seed)
+        h = model.hypergraph
+        lam = net_connectivities(h, part)
+        m = model.m
+        row_cut = int((lam[:m][lam[:m] > 0] - 1).sum())
+        col_cut = int((lam[m:][lam[m:] > 0] - 1).sum())
+        stats = communication_stats(dec)
+        assert stats.fold_volume == row_cut
+        assert stats.expand_volume == col_cut
+
+    def test_hand_example(self):
+        # 2x2 dense matrix, nonzeros split so each net is cut
+        a = sp.csr_matrix(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        model = build_finegrain_model(a)
+        # vertices in row-major COO order: (0,0) (0,1) (1,0) (1,1)
+        part = np.array([0, 1, 1, 0])
+        dec = decomposition_from_finegrain(model, part, 2)
+        stats = communication_stats(dec)
+        # every row net and column net has both parts: cutsize = 4
+        assert stats.total_volume == 4
+        assert stats.expand_volume == 2
+        assert stats.fold_volume == 2
+
+    def test_internal_nets_are_free(self, small_sparse_matrix):
+        model = build_finegrain_model(small_sparse_matrix)
+        part = np.zeros(model.hypergraph.num_vertices, dtype=np.int64)
+        dec = decomposition_from_finegrain(model, part, 2)
+        assert communication_stats(dec).total_volume == 0
+
+
+class TestOneDimDecompositions:
+    @given(sparse_square_matrices(), st.integers(2, 4), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_rowwise_no_fold_and_colnet_cutsize(self, a, k, seed):
+        a2 = sp.csr_matrix(a)
+        a2.eliminate_zeros()
+        m = a2.shape[0]
+        rng = np.random.default_rng(seed)
+        row_part = rng.integers(0, k, size=m)
+        dec = decomposition_from_row_partition(a2, row_part, k)
+        stats = communication_stats(dec)
+        assert stats.fold_volume == 0
+        model = build_columnnet_model(a2, consistency=True)
+        lam = net_connectivities(model.hypergraph, row_part)
+        cutsize = int((lam[lam > 0] - 1).sum())
+        assert stats.expand_volume == cutsize
+
+    def test_message_bound_rowwise(self, small_sparse_matrix):
+        k = 4
+        m = small_sparse_matrix.shape[0]
+        dec = decomposition_from_row_partition(
+            small_sparse_matrix, np.arange(m) % k, k
+        )
+        stats = communication_stats(dec)
+        assert stats.max_messages <= k - 1
+        assert stats.avg_messages <= k - 1
+
+
+class TestNumerics:
+    @given(sparse_square_matrices(), st.integers(1, 5), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_distributed_equals_serial(self, a, k, seed):
+        model, part, dec = finegrain_dec(a, k, seed)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(model.m)
+        res = simulate_spmv(dec, x)
+        assert np.allclose(res.y, sp.csr_matrix(a) @ x)
+
+    def test_default_x(self, small_sparse_matrix):
+        _, _, dec = finegrain_dec(small_sparse_matrix, 3, 7)
+        res = simulate_spmv(dec)
+        assert res.y.shape == (30,)
+
+    def test_wrong_x_shape(self, small_sparse_matrix):
+        _, _, dec = finegrain_dec(small_sparse_matrix, 2, 0)
+        with pytest.raises(ValueError, match="wrong shape"):
+            simulate_spmv(dec, np.zeros(5))
+
+    def test_deterministic(self, small_sparse_matrix):
+        _, _, dec = finegrain_dec(small_sparse_matrix, 4, 1)
+        x = np.random.default_rng(2).standard_normal(30)
+        y1 = simulate_spmv(dec, x).y
+        y2 = simulate_spmv(dec, x).y
+        assert np.array_equal(y1, y2)
+
+
+class TestMessageLedger:
+    def test_ledger_matches_stats(self, small_sparse_matrix):
+        _, _, dec = finegrain_dec(small_sparse_matrix, 4, 3)
+        res = simulate_spmv(dec, collect_messages=True)
+        stats = res.stats
+        exp = [m for m in res.messages if m.phase == "expand"]
+        fold = [m for m in res.messages if m.phase == "fold"]
+        assert sum(m.words for m in exp) == stats.expand_volume
+        assert sum(m.words for m in fold) == stats.fold_volume
+        assert len(exp) == int(stats.expand_msgs.sum())
+        assert len(fold) == int(stats.fold_msgs.sum())
+        for m in res.messages:
+            assert m.src != m.dst
+            assert m.words >= 1
+
+    def test_no_ledger_by_default(self, small_sparse_matrix):
+        _, _, dec = finegrain_dec(small_sparse_matrix, 2, 4)
+        assert simulate_spmv(dec).messages is None
+
+
+class TestStatsObject:
+    def test_per_processor_accounting(self, small_sparse_matrix):
+        _, _, dec = finegrain_dec(small_sparse_matrix, 4, 5)
+        stats = communication_stats(dec)
+        # sends equal receives in aggregate, per phase
+        assert stats.expand_sent.sum() == stats.expand_recv.sum()
+        assert stats.fold_sent.sum() == stats.fold_recv.sum()
+        assert stats.total_volume == stats.expand_volume + stats.fold_volume
+        assert stats.max_volume == stats.per_processor_volume.max()
+        assert stats.compute.sum() == dec.nnz
+
+    def test_scaled_values(self, small_sparse_matrix):
+        _, _, dec = finegrain_dec(small_sparse_matrix, 4, 6)
+        stats = communication_stats(dec)
+        assert stats.scaled_total_volume == pytest.approx(stats.total_volume / 30)
+        assert stats.scaled_max_volume == pytest.approx(stats.max_volume / 30)
+
+    def test_summary_string(self, small_sparse_matrix):
+        _, _, dec = finegrain_dec(small_sparse_matrix, 2, 7)
+        s = communication_stats(dec).summary()
+        assert "vol=" in s and "K=2" in s

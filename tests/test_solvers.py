@@ -1,0 +1,96 @@
+"""Tests for the distributed iterative solvers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import build_finegrain_model, decomposition_from_finegrain
+from repro.solvers import conjugate_gradient, jacobi, power_iteration
+
+
+def spd_matrix(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    a = sp.random(n, n, density=0.08, random_state=rng, format="csr")
+    a = a + a.T
+    return sp.csr_matrix(a + sp.diags(np.abs(a).sum(axis=1).A1 + 1.0))
+
+
+def decompose(a, k=4, seed=0):
+    model = build_finegrain_model(a)
+    rng = np.random.default_rng(seed)
+    part = rng.integers(0, k, size=model.hypergraph.num_vertices)
+    return decomposition_from_finegrain(model, part, k)
+
+
+@pytest.fixture(scope="module")
+def system():
+    a = spd_matrix()
+    dec = decompose(a)
+    b = np.random.default_rng(1).standard_normal(60)
+    return a, dec, b
+
+
+class TestConjugateGradient:
+    def test_solves_spd_system(self, system):
+        a, dec, b = system
+        res = conjugate_gradient(dec, b, tol=1e-10)
+        assert res.converged
+        assert np.allclose(a @ res.x, b, atol=1e-6)
+
+    def test_costs_reported(self, system):
+        a, dec, b = system
+        res = conjugate_gradient(dec, b)
+        assert res.spmv_words_per_iteration > 0
+        assert res.spmv_messages_per_iteration > 0
+        assert res.reduction_words_per_iteration == 2 * (dec.k - 1) * 2
+        assert res.total_words == res.iterations * (
+            res.spmv_words_per_iteration + res.reduction_words_per_iteration
+        )
+
+    def test_warm_start(self, system):
+        a, dec, b = system
+        exact = conjugate_gradient(dec, b, tol=1e-12)
+        warm = conjugate_gradient(dec, b, tol=1e-12, x0=exact.x)
+        assert warm.iterations <= 1
+
+    def test_iteration_budget(self, system):
+        a, dec, b = system
+        res = conjugate_gradient(dec, b, tol=1e-14, maxiter=2)
+        assert res.iterations <= 2
+        assert not res.converged or res.residual < 1e-10
+
+    def test_wrong_shape(self, system):
+        _, dec, _ = system
+        with pytest.raises(ValueError, match="wrong shape"):
+            conjugate_gradient(dec, np.zeros(3))
+
+
+class TestJacobi:
+    def test_solves_diagonally_dominant(self, system):
+        a, dec, b = system
+        res = jacobi(dec, b, tol=1e-10, maxiter=5000)
+        assert res.converged
+        assert np.allclose(a @ res.x, b, atol=1e-6)
+
+    def test_zero_diagonal_rejected(self):
+        a = sp.csr_matrix((np.ones(2), ([0, 1], [1, 0])), shape=(2, 2))
+        dec = decompose(a, k=2)
+        with pytest.raises(ValueError, match="nonzero diagonal"):
+            jacobi(dec, np.ones(2))
+
+
+class TestPowerIteration:
+    def test_finds_dominant_eigenpair(self, system):
+        a, dec, _ = system
+        res = power_iteration(dec, tol=1e-12, maxiter=3000)
+        assert res.converged
+        # compare against dense eigenvalues
+        w = np.linalg.eigvalsh(a.toarray())
+        assert res.eigenvalue == pytest.approx(w[-1], rel=1e-5)
+        assert np.allclose(a @ res.x, res.eigenvalue * res.x, atol=1e-4)
+
+    def test_deterministic(self, system):
+        _, dec, _ = system
+        r1 = power_iteration(dec, seed=3, maxiter=50)
+        r2 = power_iteration(dec, seed=3, maxiter=50)
+        assert np.array_equal(r1.x, r2.x)

@@ -1,0 +1,78 @@
+"""Unit tests for repro._util."""
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    Timer,
+    as_rng,
+    check_in_range,
+    check_positive,
+    ensure_int_array,
+    prefix_from_counts,
+)
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        assert as_rng(7).integers(1 << 30) == as_rng(7).integers(1 << 30)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_rng(g) is g
+
+
+class TestChecks:
+    def test_check_positive_accepts(self):
+        check_positive("x", 1)
+        check_positive("x", 0.5)
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_check_positive_rejects(self, bad):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", bad)
+
+    def test_check_in_range(self):
+        check_in_range("e", 0.5, 0, 1)
+        with pytest.raises(ValueError):
+            check_in_range("e", 1.5, 0, 1)
+
+
+class TestEnsureIntArray:
+    def test_list_to_int64(self):
+        arr = ensure_int_array([1, 2, 3])
+        assert arr.dtype == np.int64
+        assert arr.tolist() == [1, 2, 3]
+
+    def test_integral_floats_accepted(self):
+        assert ensure_int_array(np.array([1.0, 2.0])).tolist() == [1, 2]
+
+    def test_fractional_floats_rejected(self):
+        with pytest.raises(TypeError, match="must contain integers"):
+            ensure_int_array(np.array([1.5]))
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_int_array(np.array(["a"]))
+
+    def test_contiguous(self):
+        arr = ensure_int_array(np.arange(10)[::2])
+        assert arr.flags["C_CONTIGUOUS"]
+
+
+class TestPrefixFromCounts:
+    def test_basic(self):
+        assert prefix_from_counts([2, 0, 3]).tolist() == [0, 2, 2, 5]
+
+    def test_empty(self):
+        assert prefix_from_counts([]).tolist() == [0]
+
+
+class TestTimer:
+    def test_measures_nonnegative(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.elapsed >= 0

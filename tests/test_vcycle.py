@@ -1,0 +1,86 @@
+"""Tests for V-cycle (restricted-coarsening) refinement."""
+
+import numpy as np
+import pytest
+
+from repro._util import as_rng
+from repro.hypergraph import cutsize_connectivity
+from repro.partitioner.coarsen import coarsen_restricted
+from repro.partitioner.config import PartitionerConfig
+from repro.partitioner import partition_hypergraph
+from repro.partitioner.bisect import multilevel_bisect
+from tests.conftest import random_hypergraph
+
+
+class TestCoarsenRestricted:
+    def test_partition_projects_exactly(self):
+        """Restricted clusters never mix parts, so the projected coarse
+        partition has the same cutsize as the fine one."""
+        h = random_hypergraph(as_rng(0), 120, 90)
+        part = as_rng(1).integers(0, 2, size=120)
+        cfg = PartitionerConfig(coarsen_to=20)
+        levels, coarsest, _, coarse_part = coarsen_restricted(
+            h, cfg, as_rng(2), part
+        )
+        assert cutsize_connectivity(coarsest, coarse_part) == cutsize_connectivity(
+            h, part
+        )
+        # project back down and compare
+        p = coarse_part
+        for level in reversed(levels):
+            p = p[level.cmap]
+        assert np.array_equal(p, part)
+
+    def test_weight_preserved(self):
+        h = random_hypergraph(as_rng(3), 100, 80, weighted=True)
+        part = as_rng(4).integers(0, 2, size=100)
+        cfg = PartitionerConfig(coarsen_to=20)
+        _, coarsest, _, _ = coarsen_restricted(h, cfg, as_rng(5), part)
+        assert coarsest.total_vertex_weight() == h.total_vertex_weight()
+
+    def test_fixed_carried(self):
+        h = random_hypergraph(as_rng(6), 80, 60)
+        part = as_rng(7).integers(0, 2, size=80)
+        fixed = np.full(80, -1, dtype=np.int64)
+        fixed[:5] = part[:5]
+        cfg = PartitionerConfig(coarsen_to=15)
+        _, coarsest, cfix, cpart = coarsen_restricted(
+            h, cfg, as_rng(8), part, fixed
+        )
+        assert cfix is not None
+        locked = cfix >= 0
+        assert np.array_equal(cpart[locked], cfix[locked])
+
+
+class TestVcycleBisect:
+    def test_vcycles_never_worse(self):
+        """Per-bisection, adding V-cycles cannot increase the cut."""
+        for seed in range(6):
+            h = random_hypergraph(as_rng(seed), 150, 120)
+            t = h.total_vertex_weight() // 2
+            cuts = {}
+            for vc in (0, 2):
+                cfg = PartitionerConfig(n_vcycles=vc)
+                _, cut = multilevel_bisect(
+                    h, (t, h.total_vertex_weight() - t), 0.05, cfg, as_rng(seed)
+                )
+                cuts[vc] = cut
+            assert cuts[2] <= cuts[0]
+
+    def test_kway_with_vcycles_valid(self):
+        h = random_hypergraph(as_rng(20), 100, 80)
+        cfg = PartitionerConfig(n_vcycles=2)
+        res = partition_hypergraph(h, 4, config=cfg, seed=0)
+        assert res.cutsize == cutsize_connectivity(h, res.part)
+        assert sum(res.bisection_cuts) == res.cutsize
+
+    def test_zero_vcycles_config(self):
+        h = random_hypergraph(as_rng(21), 60, 40)
+        res = partition_hypergraph(
+            h, 4, config=PartitionerConfig(n_vcycles=0), seed=0
+        )
+        assert res.cutsize == cutsize_connectivity(h, res.part)
+
+    def test_negative_vcycles_rejected(self):
+        with pytest.raises(ValueError, match="n_vcycles"):
+            PartitionerConfig(n_vcycles=-1)

@@ -1,0 +1,78 @@
+"""Tests for conformal vector distributions and local index maps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_finegrain_model, decomposition_from_finegrain
+from repro.core.vectordist import build_vector_distribution
+from repro.spmv import communication_stats
+from tests.conftest import sparse_square_matrices
+
+
+def make_dec(a, k, seed):
+    model = build_finegrain_model(a)
+    rng = np.random.default_rng(seed)
+    part = rng.integers(0, k, size=model.hypergraph.num_vertices)
+    return decomposition_from_finegrain(model, part, k)
+
+
+class TestLayouts:
+    def test_owned_partition_the_indices(self, small_sparse_matrix):
+        dec = make_dec(small_sparse_matrix, 4, 0)
+        dist = build_vector_distribution(dec)
+        all_owned = np.concatenate([l.owned for l in dist.layouts])
+        assert sorted(all_owned.tolist()) == list(range(dec.m))
+
+    def test_ghosts_equal_expand_volume(self, small_sparse_matrix):
+        dec = make_dec(small_sparse_matrix, 4, 1)
+        dist = build_vector_distribution(dec)
+        stats = communication_stats(dec)
+        assert dist.total_ghosts() == stats.expand_volume
+
+    def test_local_nonzeros_resolvable(self, small_sparse_matrix):
+        dec = make_dec(small_sparse_matrix, 3, 2)
+        dist = build_vector_distribution(dec)
+        for layout in dist.layouts:
+            cols = np.unique(dec.nnz_col[dec.nnz_owner == layout.rank])
+            local = layout.localize(cols)
+            assert len(local) == len(cols)
+            assert local.max(initial=-1) < layout.local_size
+
+    def test_global_to_local_roundtrip(self, small_sparse_matrix):
+        dec = make_dec(small_sparse_matrix, 4, 3)
+        dist = build_vector_distribution(dec)
+        layout = dist.layouts[0]
+        for j in layout.owned[:5]:
+            assert layout.owned[layout.global_to_local(int(j))] == j
+        for j in layout.ghosts[:5]:
+            pos = layout.global_to_local(int(j))
+            assert layout.ghosts[pos - len(layout.owned)] == j
+
+    def test_missing_index_raises(self, small_sparse_matrix):
+        dec = make_dec(small_sparse_matrix, 2, 4)
+        dist = build_vector_distribution(dec)
+        layout = dist.layouts[0]
+        non_local = set(range(dec.m)) - set(layout.owned.tolist()) - set(
+            layout.ghosts.tolist()
+        )
+        if non_local:
+            j = next(iter(non_local))
+            with pytest.raises(KeyError):
+                layout.global_to_local(j)
+            with pytest.raises(KeyError):
+                layout.localize(np.array([j]))
+
+    def test_owner_of(self, small_sparse_matrix):
+        dec = make_dec(small_sparse_matrix, 4, 5)
+        dist = build_vector_distribution(dec)
+        for j in range(0, dec.m, 7):
+            assert dist.owner_of(j) == dec.x_owner[j]
+
+    @given(sparse_square_matrices(), st.integers(1, 5), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_ghosts_match_simulator(self, a, k, seed):
+        dec = make_dec(a, k, seed)
+        dist = build_vector_distribution(dec)
+        assert dist.total_ghosts() == communication_stats(dec).expand_volume
