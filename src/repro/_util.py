@@ -1,16 +1,21 @@
 """Shared low-level utilities: RNG normalization, validation, timing.
 
 These helpers are deliberately dependency-light; every subpackage of
-:mod:`repro` uses them, so they must import nothing from the rest of the
-library.
+:mod:`repro` uses them, so they import nothing from the rest of the
+library except :mod:`repro.telemetry`, which is itself stdlib-only.
+
+:class:`Timer` now lives in :mod:`repro.telemetry` (it is a thin shim over
+the telemetry clock that can optionally record a span); it is re-exported
+here so existing call sites keep working.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Iterable, Sequence
 
 import numpy as np
+
+from repro.telemetry.recorder import Timer
 
 __all__ = [
     "as_rng",
@@ -77,26 +82,3 @@ def prefix_from_counts(counts: Sequence[int] | np.ndarray) -> np.ndarray:
     out[0] = 0
     np.cumsum(counts, out=out[1:])
     return out
-
-
-class Timer:
-    """Minimal wall-clock timer used by the partitioners and the bench
-    harness.
-
-    Usage::
-
-        with Timer() as t:
-            work()
-        print(t.elapsed)
-    """
-
-    def __init__(self) -> None:
-        self.elapsed = 0.0
-        self._start = 0.0
-
-    def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.elapsed = time.perf_counter() - self._start

@@ -60,7 +60,45 @@ def _parse(argv):
                    help="subset of collection matrices (default: all 14)")
     p.add_argument("--epsilon", type=float, default=0.03)
     p.add_argument("--matrix-seed", type=int, default=0)
+    p.add_argument("--profile", action="store_true",
+                   help="record telemetry and print a per-phase time "
+                        "breakdown for every instance")
+    p.add_argument("--profile-json", default=None,
+                   help="with --profile, also write the per-instance phase "
+                        "times and counters to this JSON file")
     return p.parse_args(argv)
+
+
+def _print_profile(results) -> None:
+    """Per-instance phase breakdown recorded by ``--profile``."""
+    print()
+    print("per-phase self time (mean seconds per seed):")
+    for r in results:
+        if not r.phase_times:
+            continue
+        top = sorted(r.phase_times.items(), key=lambda kv: -kv[1])[:6]
+        cells = " ".join(f"{name}={secs * 1e3:.1f}ms" for name, secs in top)
+        print(f"  {r.matrix:<12} K={r.k:<3} {r.model:<12} {cells}")
+
+
+def _write_profile_json(results, path: str) -> None:
+    import json
+
+    rows = [
+        {
+            "matrix": r.matrix,
+            "k": r.k,
+            "model": r.model,
+            "n_seeds": r.n_seeds,
+            "time": r.time,
+            "phases": r.phase_times,
+            "counters": r.counters,
+        }
+        for r in results
+    ]
+    with open(path, "w") as f:
+        json.dump(rows, f, indent=2)
+    print(f"wrote {path}")
 
 
 def main(argv=None) -> int:
@@ -92,6 +130,7 @@ def main(argv=None) -> int:
         n_seeds=args.seeds,
         config=cfg,
         progress=lambda s: print(f"  running {s}", file=sys.stderr),
+        profile=args.profile,
     )
     if args.command == "table2":
         print(
@@ -124,6 +163,10 @@ def main(argv=None) -> int:
         print(f"wrote {args.output}")
     else:
         print(summarize_table2(results).report())
+    if args.profile:
+        _print_profile(results)
+        if args.profile_json:
+            _write_profile_json(results, args.profile_json)
     return 0
 
 

@@ -8,7 +8,7 @@ which is what this runner measures via :mod:`repro.spmv`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
@@ -22,6 +22,7 @@ from repro.core.api import (
 )
 from repro.partitioner import PartitionerConfig
 from repro.spmv.simulator import communication_stats
+from repro.telemetry import TelemetryRecorder, use_recorder
 
 __all__ = [
     "MODELS",
@@ -64,6 +65,11 @@ class InstanceResult:
     #: average partitioner cutsize (Eq. 3 for the hypergraph models,
     #: edge cut for the graph model)
     cutsize: float
+    #: mean self-time seconds per seed, by telemetry span name (only
+    #: populated when the instance ran with ``profile=True``)
+    phase_times: dict[str, float] | None = field(default=None, compare=False)
+    #: telemetry counter totals summed over all seeds (``profile=True``)
+    counters: dict[str, int | float] | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -86,15 +92,23 @@ def run_instance(
     n_seeds: int = 3,
     config: PartitionerConfig | None = None,
     base_seed: int = 0,
+    profile: bool = False,
 ) -> InstanceResult:
-    """Run one decomposition instance averaged over ``n_seeds`` seeds."""
+    """Run one decomposition instance averaged over ``n_seeds`` seeds.
+
+    With ``profile=True`` the seeds run under a telemetry recorder and the
+    result row carries a per-phase time breakdown (mean seconds per seed)
+    plus the aggregated counters.
+    """
     if model not in MODELS:
         raise KeyError(f"unknown model {model!r}; choose from {sorted(MODELS)}")
     fn = MODELS[model]
     m = a.shape[0]
     tots, maxs, msgs, times, imbs, cuts = [], [], [], [], [], []
-    for s in range(n_seeds):
-        with Timer() as t:
+    rec = TelemetryRecorder() if profile else None
+
+    def one_seed(s: int) -> None:
+        with Timer("bench.seed", seed=base_seed + s) as t:
             dec, info = fn(a, k, config=config, seed=base_seed + s)
         stats = communication_stats(dec)
         tots.append(stats.total_volume / m)
@@ -103,6 +117,22 @@ def run_instance(
         times.append(t.elapsed)
         imbs.append(stats.load_imbalance)
         cuts.append(getattr(info, "cutsize", getattr(info, "edge_cut", 0)))
+
+    if rec is not None:
+        with use_recorder(rec):
+            for s in range(n_seeds):
+                one_seed(s)
+    else:
+        for s in range(n_seeds):
+            one_seed(s)
+
+    phase_times = counters = None
+    if rec is not None:
+        phase_times = {
+            name: secs / max(n_seeds, 1)
+            for name, secs in rec.durations_by_name(self_time=True).items()
+        }
+        counters = rec.counter_totals()
     return InstanceResult(
         matrix=matrix_name,
         k=k,
@@ -114,6 +144,8 @@ def run_instance(
         time=float(np.mean(times)),
         imbalance=float(np.mean(imbs)),
         cutsize=float(np.mean(cuts)),
+        phase_times=phase_times,
+        counters=counters,
     )
 
 
@@ -126,6 +158,7 @@ def run_matrix_instances(
     config: PartitionerConfig | None = None,
     base_seed: int = 0,
     progress: Callable[[str], None] | None = None,
+    profile: bool = False,
 ) -> list[InstanceResult]:
     """All (K, model) instances of one matrix."""
     out: list[InstanceResult] = []
@@ -134,7 +167,10 @@ def run_matrix_instances(
             if progress:
                 progress(f"{matrix_name} K={k} {model}")
             out.append(
-                run_instance(a, matrix_name, k, model, n_seeds, config, base_seed)
+                run_instance(
+                    a, matrix_name, k, model, n_seeds, config, base_seed,
+                    profile=profile,
+                )
             )
     return out
 
@@ -147,13 +183,15 @@ def run_table2(
     config: PartitionerConfig | None = None,
     base_seed: int = 0,
     progress: Callable[[str], None] | None = None,
+    profile: bool = False,
 ) -> list[InstanceResult]:
     """The full Table 2 sweep over the given matrices."""
     out: list[InstanceResult] = []
     for name, a in matrices.items():
         out.extend(
             run_matrix_instances(
-                a, name, ks, models, n_seeds, config, base_seed, progress
+                a, name, ks, models, n_seeds, config, base_seed, progress,
+                profile=profile,
             )
         )
     return out

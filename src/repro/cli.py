@@ -10,6 +10,10 @@ partition
 spmv
     Load a decomposition produced by ``partition`` and simulate one
     distributed multiply, verifying it against the serial product.
+profile
+    Run a full decomposition + simulated SpMV under a telemetry recorder;
+    print the span tree, counter totals and the hottest phases, and
+    optionally write an NDJSON trace / flat JSON summary.
 
 Matrices are given either as a MatrixMarket file path or as
 ``collection:<name>[@scale]`` referring to the built-in test set, e.g.
@@ -99,7 +103,65 @@ def _parse(argv):
     pa.add_argument("--model", choices=sorted(_MODELS), default="finegrain2d")
     pa.add_argument("--epsilon", type=float, default=0.03)
     pa.add_argument("--seed", type=int, default=0)
+
+    pf = sub.add_parser(
+        "profile", help="trace a decomposition + simulated SpMV end to end"
+    )
+    pf.add_argument("matrix")
+    pf.add_argument("-k", type=int, default=4, help="number of processors")
+    pf.add_argument("--model", choices=sorted(_MODELS), default="finegrain2d")
+    pf.add_argument("--epsilon", type=float, default=0.03)
+    pf.add_argument("--seed", type=int, default=0)
+    pf.add_argument("--depth", type=int, default=4,
+                    help="maximum span-tree depth to print")
+    pf.add_argument("--trace", default=None,
+                    help="write the NDJSON event log to this path")
+    pf.add_argument("--json", dest="json_out", default=None,
+                    help="write the flat JSON summary to this path")
+    pf.add_argument("--no-spmv", action="store_true",
+                    help="profile the partitioner only")
     return p.parse_args(argv)
+
+
+def _cmd_profile(a: sp.csr_matrix, args) -> int:
+    """The ``profile`` command: run everything under a real recorder."""
+    from repro.telemetry import (
+        render_tree,
+        trace_to_dict,
+        use_recorder,
+        write_ndjson,
+    )
+
+    cfg = PartitionerConfig(epsilon=args.epsilon)
+    with use_recorder() as rec:
+        dec = _MODELS[args.model](a, args.k, cfg, args.seed)
+        if not args.no_spmv:
+            simulate_spmv(dec)
+
+    print(render_tree(rec, max_depth=args.depth))
+    phases = sorted(
+        rec.durations_by_name(self_time=True).items(), key=lambda kv: -kv[1]
+    )
+    print()
+    print("hot phases (self time):")
+    for name, secs in phases[:10]:
+        print(f"  {name:<24}{secs * 1e3:10.2f} ms")
+    totals = rec.counter_totals()
+    if totals:
+        print()
+        print("counters:")
+        for name in sorted(totals):
+            print(f"  {name:<24}{totals[name]}")
+    if args.trace:
+        n_lines = write_ndjson(rec, args.trace)
+        print(f"\nwrote {args.trace} ({n_lines} lines)")
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w") as f:
+            json.dump(trace_to_dict(rec), f, indent=2)
+        print(f"wrote {args.json_out}")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -110,6 +172,9 @@ def main(argv=None) -> int:
     if args.command == "info":
         print(matrix_stats(a, args.matrix).table1_row())
         return 0
+
+    if args.command == "profile":
+        return _cmd_profile(a, args)
 
     if args.command == "partition":
         cfg = PartitionerConfig(epsilon=args.epsilon)

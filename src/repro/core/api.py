@@ -69,7 +69,7 @@ def decompose_2d_finegrain(
     model = build_finegrain_model(a, consistency=True)
     res = partition_hypergraph(model.hypergraph, k, config=config, seed=rng)
     if seed_1d:
-        with Timer() as t:
+        with Timer("partition.seed1d") as t:
             one_d = build_columnnet_model(a, consistency=True)
             row_res = partition_hypergraph(one_d.hypergraph, k, config=config, seed=rng)
             seeded = row_res.part[model.vertex_row]  # rowwise point in 2D space

@@ -445,8 +445,8 @@ def partition_graph(
 
     best = None
     best_key = None
-    for _ in range(cfg.n_runs):
-        with Timer() as t:
+    for run in range(cfg.n_runs):
+        with Timer("graph.partition.run", run=run, k=k) as t:
             part = _recurse(g, k, cfg, rng, eps_b)
         validate_graph_partition(g, part, k)
         cut = edge_cut(g, part)

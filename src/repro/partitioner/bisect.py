@@ -10,6 +10,7 @@ from repro.partitioner.coarsen import coarsen, coarsen_restricted
 from repro.partitioner.config import PartitionerConfig
 from repro.partitioner.initial import initial_bisection
 from repro.partitioner.refine import fm_refine_bisection
+from repro.telemetry import get_recorder
 
 __all__ = ["multilevel_bisect"]
 
@@ -34,31 +35,36 @@ def multilevel_bisect(
     t0, t1 = int(targets[0]), int(targets[1])
     max_weights = (int(t0 * (1.0 + epsilon)), int(t1 * (1.0 + epsilon)))
 
+    rec = get_recorder()
     levels, coarsest, coarsest_fixed = coarsen(h, cfg, rng, fixed)
     part = initial_bisection(
         coarsest, (t0, t1), max_weights, cfg, rng, coarsest_fixed
     )
-    part, cut = fm_refine_bisection(
-        coarsest, part, max_weights, cfg, rng, coarsest_fixed
-    )
-    for level in reversed(levels):
-        part = part[level.cmap]  # project onto the finer hypergraph
+    with rec.span("uncoarsen", levels=len(levels)) as usp:
         part, cut = fm_refine_bisection(
-            level.fine, part, max_weights, cfg, rng, level.fixed
+            coarsest, part, max_weights, cfg, rng, coarsest_fixed
         )
-
-    for _ in range(cfg.n_vcycles if cfg.matching != "none" else 0):
-        vlevels, vcoarsest, vfixed, vpart = coarsen_restricted(
-            h, cfg, rng, part, fixed
-        )
-        vpart, vcut = fm_refine_bisection(
-            vcoarsest, vpart, max_weights, cfg, rng, vfixed
-        )
-        for level in reversed(vlevels):
-            vpart = vpart[level.cmap]
-            vpart, vcut = fm_refine_bisection(
-                level.fine, vpart, max_weights, cfg, rng, level.fixed
+        for level in reversed(levels):
+            part = part[level.cmap]  # project onto the finer hypergraph
+            part, cut = fm_refine_bisection(
+                level.fine, part, max_weights, cfg, rng, level.fixed
             )
+        usp.set(cut=cut)
+
+    for cycle in range(cfg.n_vcycles if cfg.matching != "none" else 0):
+        with rec.span("vcycle", cycle=cycle) as vsp:
+            vlevels, vcoarsest, vfixed, vpart = coarsen_restricted(
+                h, cfg, rng, part, fixed
+            )
+            vpart, vcut = fm_refine_bisection(
+                vcoarsest, vpart, max_weights, cfg, rng, vfixed
+            )
+            for level in reversed(vlevels):
+                vpart = vpart[level.cmap]
+                vpart, vcut = fm_refine_bisection(
+                    level.fine, vpart, max_weights, cfg, rng, level.fixed
+                )
+            vsp.set(cut=vcut)
         if vcut >= cut:
             break  # converged; further cycles would only re-discover this
         part, cut = vpart, vcut

@@ -23,6 +23,7 @@ import numpy as np
 from repro._util import INDEX_DTYPE, as_rng, prefix_from_counts
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.partitioner.config import PartitionerConfig
+from repro.telemetry import get_recorder
 
 __all__ = ["match_vertices", "build_coarse", "coarsen_level", "CoarseLevel", "coarsen"]
 
@@ -70,6 +71,7 @@ def match_vertices(
     # profile; see DESIGN.md performance notes)
     score: list[float] = [0.0] * nv
     touched: list[int] = []
+    pins_visited = 0
 
     order = rng.permutation(nv)
     for v in order:
@@ -84,6 +86,7 @@ def match_vertices(
             sz = hi - lo
             if sz < 2 or sz > max_net_size:
                 continue
+            pins_visited += sz
             sc = costs[n] / (sz - 1)
             for j in range(lo, hi):
                 u = pins[j]
@@ -128,6 +131,10 @@ def match_vertices(
             if fv != -1:
                 cfixed[cu] = fv
 
+    rec = get_recorder()
+    if rec.enabled:
+        rec.add("coarsen.pins_visited", pins_visited)
+        rec.add("coarsen.clusters", len(cweight))
     cmap = np.asarray(cluster, dtype=INDEX_DTYPE)
     return cmap, len(cweight), np.asarray(cfixed, dtype=INDEX_DTYPE)
 
@@ -249,19 +256,33 @@ def coarsen(
     cur_fixed = fixed
     if cfg.matching == "none":
         return levels, cur, cur_fixed
+    rec = get_recorder()
     total = max(h.total_vertex_weight(), 1)
     # a cluster may not exceed what a perfectly balanced coarsest part could
     # absorb; this keeps the coarsest instance bisectable
     max_cluster_weight = max(total // max(cfg.coarsen_to // 2, 1), 1)
-    for _ in range(cfg.max_coarsen_levels):
-        if cur.num_vertices <= cfg.coarsen_to:
-            break
-        hc, cmap, cfix = coarsen_level(cur, cfg, rng, max_cluster_weight, cur_fixed)
-        if hc.num_vertices >= cfg.min_coarsen_shrink * cur.num_vertices:
-            break  # stagnated; further levels would waste time
-        levels.append(CoarseLevel(cur, cmap, cur_fixed))
-        cur = hc
-        cur_fixed = cfix
+    with rec.span("coarsen", vertices=h.num_vertices, pins=h.num_pins) as csp:
+        for depth in range(cfg.max_coarsen_levels):
+            if cur.num_vertices <= cfg.coarsen_to:
+                break
+            with rec.span("coarsen.level", level=depth) as lsp:
+                hc, cmap, cfix = coarsen_level(
+                    cur, cfg, rng, max_cluster_weight, cur_fixed
+                )
+                lsp.set(
+                    vertices=hc.num_vertices,
+                    nets=hc.num_nets,
+                    pins=hc.num_pins,
+                )
+                lsp.gauge(
+                    "shrink", hc.num_vertices / max(cur.num_vertices, 1)
+                )
+            if hc.num_vertices >= cfg.min_coarsen_shrink * cur.num_vertices:
+                break  # stagnated; further levels would waste time
+            levels.append(CoarseLevel(cur, cmap, cur_fixed))
+            cur = hc
+            cur_fixed = cfix
+        csp.set(levels=len(levels), coarsest_vertices=cur.num_vertices)
     return levels, cur, cur_fixed
 
 
@@ -281,28 +302,42 @@ def coarsen_restricted(
     cur = h
     cur_fixed = fixed
     cur_part = np.asarray(part, dtype=INDEX_DTYPE)
+    rec = get_recorder()
     total = max(h.total_vertex_weight(), 1)
     max_cluster_weight = max(total // max(cfg.coarsen_to // 2, 1), 1)
-    for _ in range(cfg.max_coarsen_levels):
-        if cur.num_vertices <= cfg.coarsen_to:
-            break
-        cmap, nc, cfix = match_vertices(
-            cur,
-            rng,
-            scheme=cfg.matching if cfg.matching != "none" else "hcc",
-            max_net_size=cfg.max_net_size_coarsen,
-            max_cluster_weight=max_cluster_weight,
-            fixed=cur_fixed,
-            part=cur_part,
-        )
-        hc = build_coarse(cur, cmap, nc)
-        if hc.num_vertices >= cfg.min_coarsen_shrink * cur.num_vertices:
-            break
-        # project: all members of a cluster share a part by construction
-        coarse_part = np.empty(nc, dtype=INDEX_DTYPE)
-        coarse_part[cmap] = cur_part
-        levels.append(CoarseLevel(cur, cmap, cur_fixed))
-        cur = hc
-        cur_fixed = cfix if cur_fixed is not None else None
-        cur_part = coarse_part
+    with rec.span(
+        "coarsen", restricted=True, vertices=h.num_vertices, pins=h.num_pins
+    ) as csp:
+        for depth in range(cfg.max_coarsen_levels):
+            if cur.num_vertices <= cfg.coarsen_to:
+                break
+            with rec.span("coarsen.level", level=depth) as lsp:
+                cmap, nc, cfix = match_vertices(
+                    cur,
+                    rng,
+                    scheme=cfg.matching if cfg.matching != "none" else "hcc",
+                    max_net_size=cfg.max_net_size_coarsen,
+                    max_cluster_weight=max_cluster_weight,
+                    fixed=cur_fixed,
+                    part=cur_part,
+                )
+                hc = build_coarse(cur, cmap, nc)
+                lsp.set(
+                    vertices=hc.num_vertices,
+                    nets=hc.num_nets,
+                    pins=hc.num_pins,
+                )
+                lsp.gauge(
+                    "shrink", hc.num_vertices / max(cur.num_vertices, 1)
+                )
+            if hc.num_vertices >= cfg.min_coarsen_shrink * cur.num_vertices:
+                break
+            # project: all members of a cluster share a part by construction
+            coarse_part = np.empty(nc, dtype=INDEX_DTYPE)
+            coarse_part[cmap] = cur_part
+            levels.append(CoarseLevel(cur, cmap, cur_fixed))
+            cur = hc
+            cur_fixed = cfix if cur_fixed is not None else None
+            cur_part = coarse_part
+        csp.set(levels=len(levels), coarsest_vertices=cur.num_vertices)
     return levels, cur, cur_fixed, cur_part

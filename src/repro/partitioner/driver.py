@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro._util import Timer, as_rng
+from repro.telemetry import get_recorder
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.partition import (
     cutsize_connectivity,
@@ -78,26 +79,37 @@ def partition_hypergraph(
     best: PartitionResult | None = None
     best_key: tuple[float, int] | None = None
     wavg = h.total_vertex_weight() / k
-    for _ in range(cfg.n_runs):
-        with Timer() as t:
-            part, cuts = partition_recursive(h, k, cfg, rng, fixed)
-            if cfg.kway_refine and k > 1:
-                part = kway_refine(h, part, k, cfg, rng, fixed)
-        validate_partition(h, part, k)
-        cut = cutsize_connectivity(h, part)
-        imb = imbalance(h, part, k)
-        excess = max(0.0, imb - cfg.epsilon)
-        key = (excess, cut)
-        if best_key is None or key < best_key:
-            best_key = key
-            best = PartitionResult(
-                part=part,
-                k=k,
-                cutsize=cut,
-                cutsize_cutnet=cutsize_cutnet(h, part),
-                imbalance=imb,
-                runtime=t.elapsed,
-                bisection_cuts=cuts,
-            )
-    assert best is not None
+    rec = get_recorder()
+    with rec.span(
+        "partition",
+        k=k,
+        n_runs=cfg.n_runs,
+        vertices=h.num_vertices,
+        nets=h.num_nets,
+        pins=h.num_pins,
+    ) as psp:
+        for run in range(cfg.n_runs):
+            with rec.span("partition.run", run=run) as rsp, Timer() as t:
+                part, cuts = partition_recursive(h, k, cfg, rng, fixed)
+                if cfg.kway_refine and k > 1:
+                    part = kway_refine(h, part, k, cfg, rng, fixed)
+            validate_partition(h, part, k)
+            cut = cutsize_connectivity(h, part)
+            imb = imbalance(h, part, k)
+            rsp.set(cutsize=cut, imbalance=round(imb, 6))
+            excess = max(0.0, imb - cfg.epsilon)
+            key = (excess, cut)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = PartitionResult(
+                    part=part,
+                    k=k,
+                    cutsize=cut,
+                    cutsize_cutnet=cutsize_cutnet(h, part),
+                    imbalance=imb,
+                    runtime=t.elapsed,
+                    bisection_cuts=cuts,
+                )
+        assert best is not None
+        psp.set(cutsize=best.cutsize, imbalance=round(best.imbalance, 6))
     return best

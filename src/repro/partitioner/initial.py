@@ -23,6 +23,7 @@ from repro.hypergraph.partition import cutsize_connectivity
 from repro.partitioner.config import PartitionerConfig
 from repro.partitioner.gainbucket import GainBucket
 from repro.partitioner.refine import FMCore, fm_refine_bisection
+from repro.telemetry import get_recorder
 
 __all__ = ["ghg_bisection", "random_bisection", "initial_bisection"]
 
@@ -124,18 +125,23 @@ def initial_bisection(
     best_part: np.ndarray | None = None
     best_key: tuple[int, int] | None = None
     w = h.vertex_weights
-    for s in range(cfg.n_initial_starts):
-        if s % 3 == 2:
-            raw = random_bisection(h, targets[0], max_weights[0], rng, fixed)
-        else:
-            raw = ghg_bisection(h, targets[0], max_weights[0], rng, fixed)
-        part, cut = fm_refine_bisection(h, raw, max_weights, cfg, rng, fixed)
-        w0 = int(w[part == 0].sum())
-        w1 = int(w.sum()) - w0
-        excess = max(0, w0 - max_weights[0]) + max(0, w1 - max_weights[1])
-        key = (excess, cut)
-        if best_key is None or key < best_key:
-            best_key = key
-            best_part = part
+    rec = get_recorder()
+    with rec.span(
+        "initial", vertices=h.num_vertices, starts=cfg.n_initial_starts
+    ) as sp:
+        for s in range(cfg.n_initial_starts):
+            if s % 3 == 2:
+                raw = random_bisection(h, targets[0], max_weights[0], rng, fixed)
+            else:
+                raw = ghg_bisection(h, targets[0], max_weights[0], rng, fixed)
+            part, cut = fm_refine_bisection(h, raw, max_weights, cfg, rng, fixed)
+            w0 = int(w[part == 0].sum())
+            w1 = int(w.sum()) - w0
+            excess = max(0, w0 - max_weights[0]) + max(0, w1 - max_weights[1])
+            key = (excess, cut)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_part = part
+        sp.set(cut=best_key[1], excess=best_key[0])
     assert best_part is not None
     return best_part

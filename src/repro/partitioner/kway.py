@@ -25,6 +25,7 @@ import numpy as np
 from repro._util import INDEX_DTYPE, as_rng
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.partitioner.config import PartitionerConfig
+from repro.telemetry import get_recorder
 
 __all__ = ["kway_refine"]
 
@@ -66,52 +67,60 @@ def kway_refine(
     if fixed is not None:
         free &= fixed < 0
 
-    for _ in range(cfg.kway_passes):
-        # boundary = vertices on some net with connectivity > 1
-        lam = (counts_l > 0).sum(axis=1)
-        cut_net = lam > 1
-        bnd = np.unique(h.pins[cut_net[net_of_pin]])
-        bnd = bnd[free[bnd]]
-        if len(bnd) == 0:
-            break
-        moved_any = False
-        for v in rng.permutation(bnd):
-            v = int(v)
-            p = part_l[v]
-            nets_v = vnets[xnets[v] : xnets[v + 1]]
-            # candidate parts: those connected through v's nets
-            gain_remove = 0
-            cand: dict[int, int] = {}
-            for n in nets_v:
-                row = counts_l[n]
-                c = cost[n]
-                if row[p] == 1:
-                    gain_remove += c
-                for q in np.flatnonzero(row):
-                    q = int(q)
-                    if q != p:
-                        cand[q] = cand.get(q, 0) + c
-            best_q, best_gain = -1, 0
-            wv = wl[v]
-            for q, conn in cand.items():
-                if W[q] + wv > maxw:
-                    continue
-                # gain = (nets leaving p) - (nets newly entering q)
-                loss = 0
+    rec = get_recorder()
+    with rec.span("kway", k=k, vertices=nv):
+        for pass_no in range(cfg.kway_passes):
+            # boundary = vertices on some net with connectivity > 1
+            lam = (counts_l > 0).sum(axis=1)
+            cut_net = lam > 1
+            bnd = np.unique(h.pins[cut_net[net_of_pin]])
+            bnd = bnd[free[bnd]]
+            if len(bnd) == 0:
+                break
+            moved = 0
+            gained = 0
+            for v in rng.permutation(bnd):
+                v = int(v)
+                p = part_l[v]
+                nets_v = vnets[xnets[v] : xnets[v + 1]]
+                # candidate parts: those connected through v's nets
+                gain_remove = 0
+                cand: dict[int, int] = {}
                 for n in nets_v:
-                    if counts_l[n, q] == 0:
-                        loss += cost[n]
-                g = gain_remove - loss
-                if g > best_gain:
-                    best_q, best_gain = q, g
-            if best_q >= 0:
-                for n in nets_v:
-                    counts_l[n, p] -= 1
-                    counts_l[n, best_q] += 1
-                W[p] -= wv
-                W[best_q] += wv
-                part_l[v] = best_q
-                moved_any = True
-        if not moved_any:
-            break
+                    row = counts_l[n]
+                    c = cost[n]
+                    if row[p] == 1:
+                        gain_remove += c
+                    for q in np.flatnonzero(row):
+                        q = int(q)
+                        if q != p:
+                            cand[q] = cand.get(q, 0) + c
+                best_q, best_gain = -1, 0
+                wv = wl[v]
+                for q, conn in cand.items():
+                    if W[q] + wv > maxw:
+                        continue
+                    # gain = (nets leaving p) - (nets newly entering q)
+                    loss = 0
+                    for n in nets_v:
+                        if counts_l[n, q] == 0:
+                            loss += cost[n]
+                    g = gain_remove - loss
+                    if g > best_gain:
+                        best_q, best_gain = q, g
+                if best_q >= 0:
+                    for n in nets_v:
+                        counts_l[n, p] -= 1
+                        counts_l[n, best_q] += 1
+                    W[p] -= wv
+                    W[best_q] += wv
+                    part_l[v] = best_q
+                    moved += 1
+                    gained += best_gain
+            if rec.enabled:
+                rec.add("kway.passes")
+                rec.add("kway.moves", moved)
+                rec.add("kway.cut_delta", gained)
+            if not moved:
+                break
     return np.asarray(part_l, dtype=INDEX_DTYPE)

@@ -22,6 +22,7 @@ from repro._util import INDEX_DTYPE, as_rng
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.partitioner.bisect import multilevel_bisect
 from repro.partitioner.config import PartitionerConfig
+from repro.telemetry import get_recorder
 
 __all__ = ["partition_recursive", "extract_side", "bisection_epsilon"]
 
@@ -112,19 +113,22 @@ def partition_recursive(
     if fixed is not None:
         fixed01 = np.where(fixed >= 0, (fixed >= k1).astype(INDEX_DTYPE), -1)
 
-    part01, cut = multilevel_bisect(h, (t0, t1), eps_b, cfg, rng, fixed01)
-    cuts = [cut]
+    rec = get_recorder()
+    with rec.span("bisection", k=k, vertices=h.num_vertices, nets=h.num_nets) as sp:
+        part01, cut = multilevel_bisect(h, (t0, t1), eps_b, cfg, rng, fixed01)
+        cuts = [cut]
+        sp.set(cut=cut)
 
-    part = np.zeros(h.num_vertices, dtype=INDEX_DTYPE)
-    for side, k_side, offset in ((0, k1, 0), (1, k2, k1)):
-        sub, vertex_ids, _ = extract_side(h, part01, side)
-        sub_fixed = None
-        if fixed is not None:
-            f = fixed[vertex_ids]
-            sub_fixed = np.where(f >= 0, f - offset, -1).astype(INDEX_DTYPE)
-        sub_part, sub_cuts = partition_recursive(
-            sub, k_side, cfg, rng, sub_fixed, _eps_b=eps_b
-        )
-        part[vertex_ids] = offset + sub_part
-        cuts.extend(sub_cuts)
+        part = np.zeros(h.num_vertices, dtype=INDEX_DTYPE)
+        for side, k_side, offset in ((0, k1, 0), (1, k2, k1)):
+            sub, vertex_ids, _ = extract_side(h, part01, side)
+            sub_fixed = None
+            if fixed is not None:
+                f = fixed[vertex_ids]
+                sub_fixed = np.where(f >= 0, f - offset, -1).astype(INDEX_DTYPE)
+            sub_part, sub_cuts = partition_recursive(
+                sub, k_side, cfg, rng, sub_fixed, _eps_b=eps_b
+            )
+            part[vertex_ids] = offset + sub_part
+            cuts.extend(sub_cuts)
     return part, cuts

@@ -22,6 +22,7 @@ from repro._util import INDEX_DTYPE, as_rng
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.partitioner.config import PartitionerConfig
 from repro.partitioner.gainbucket import GainBucket
+from repro.telemetry import get_recorder
 
 __all__ = ["FMCore", "fm_refine_bisection"]
 
@@ -225,11 +226,17 @@ def fm_refine_bisection(
     maxw = (int(max_weights[0]), int(max_weights[1]))
     cut = core.cut()
 
-    for _ in range(cfg.fm_passes):
-        gain, moved = _fm_pass(core, maxw, cfg, rng, cut)
-        cut -= gain
-        if gain <= 0 and not moved:
-            break
+    rec = get_recorder()
+    with rec.span("refine.fm", vertices=h.num_vertices) as sp:
+        cut0 = cut
+        for p in range(cfg.fm_passes):
+            gain, moved = _fm_pass(core, maxw, cfg, rng, cut)
+            cut -= gain
+            rec.add("fm.passes")
+            if gain <= 0 and not moved:
+                break
+        sp.set(cut=cut)
+        rec.add("fm.cut_delta", cut0 - cut)
     return core.part_array(), cut
 
 
@@ -353,5 +360,9 @@ def _fm_pass(
         core.undo_move(v)
         core.locked[v] = False
 
+    rec = get_recorder()
+    if rec.enabled:
+        rec.add("fm.moves", best_idx)
+        rec.add("fm.rollbacks", len(moves) - best_idx)
     changed = best_idx > 0
     return (best_cum if changed else 0), changed

@@ -30,6 +30,7 @@ from repro.partitioner.config import PartitionerConfig
 from repro.partitioner.kway import kway_refine
 from repro.partitioner.recursive import extract_side
 from repro.partitioner.refine import fm_refine_bisection
+from repro.telemetry import get_recorder
 
 __all__ = ["refine_partition", "pairwise_refine"]
 
@@ -66,6 +67,13 @@ def pairwise_refine(
     pairs = _adjacent_pairs(h, part, k)
     if max_pairs is not None:
         pairs = pairs[:max_pairs]
+    pairwise_span = get_recorder().span("kway.pairwise", k=k, pairs=len(pairs))
+    with pairwise_span:
+        part = _refine_pairs(h, part, pairs, maxw_part, cfg, rng, fixed)
+    return part
+
+
+def _refine_pairs(h, part, pairs, maxw_part, cfg, rng, fixed):
     for pa, pb in pairs:
         sel = (part == pa) | (part == pb)
         side01 = np.where(part == pb, 1, 0)
@@ -109,10 +117,13 @@ def refine_partition(
     fixed = h.fixed
     best = part
     best_cut = cutsize_connectivity(h, best)
-    for _ in range(max(sweeps, 0)):
-        cand = pairwise_refine(h, best, k, cfg, rng, fixed=fixed)
-        cand = kway_refine(h, cand, k, cfg, rng, fixed=fixed)
-        cut = cutsize_connectivity(h, cand)
+    rec = get_recorder()
+    for sweep in range(max(sweeps, 0)):
+        with rec.span("kway.sweep", sweep=sweep) as sp:
+            cand = pairwise_refine(h, best, k, cfg, rng, fixed=fixed)
+            cand = kway_refine(h, cand, k, cfg, rng, fixed=fixed)
+            cut = cutsize_connectivity(h, cand)
+            sp.set(cut=cut)
         if cut >= best_cut:
             break
         best, best_cut = cand, cut

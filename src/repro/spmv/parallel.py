@@ -30,6 +30,7 @@ import scipy.sparse as sp
 
 from repro.core.decomposition import Decomposition
 from repro.spmv.plan import CommPlan, build_comm_plan
+from repro.telemetry import get_recorder
 
 __all__ = ["parallel_spmv"]
 
@@ -103,9 +104,38 @@ def parallel_spmv(
     x = np.asarray(x, dtype=np.float64)
     if x.shape != (dec.n,):
         raise ValueError("x has wrong shape")
-    plan = plan or build_comm_plan(dec)
-    k = dec.k
+    rec = get_recorder()
+    parallel_span = rec.span("spmv.parallel", k=dec.k)
+    with parallel_span as psp:
+        if plan is None:
+            with rec.span("spmv.parallel.plan"):
+                plan = build_comm_plan(dec)
+        if rec.enabled:
+            # planned traffic (both phases), for cross-checks against the
+            # simulator's counters: plans and stats must agree exactly
+            for p in plan.processors:
+                psp.add("spmv.expand.msgs", len(p.expand_send))
+                psp.add(
+                    "spmv.expand.words",
+                    sum(len(c) for c in p.expand_send.values()),
+                )
+                psp.add("spmv.fold.msgs", len(p.fold_send))
+                psp.add(
+                    "spmv.fold.words",
+                    sum(len(r) for r in p.fold_send.values()),
+                )
+        y = _run_workers(dec, x, plan, timeout, rec)
+    return y
 
+
+def _run_workers(
+    dec: Decomposition,
+    x: np.ndarray,
+    plan: CommPlan,
+    timeout: float,
+    rec,
+) -> np.ndarray:
+    k = dec.k
     ctx = mp.get_context("fork") if hasattr(mp, "get_context") else mp
     inboxes = [ctx.Queue() for _ in range(k)]
     result_queue = ctx.Queue()
@@ -135,10 +165,11 @@ def parallel_spmv(
 
     y = np.zeros(dec.m, dtype=np.float64)
     try:
-        for _ in range(k):
-            rank, y_local = result_queue.get(timeout=timeout)
-            for i, v in y_local.items():
-                y[i] = v
+        with rec.span("spmv.parallel.exec", workers=len(procs)):
+            for _ in range(k):
+                rank, y_local = result_queue.get(timeout=timeout)
+                for i, v in y_local.items():
+                    y[i] = v
     finally:
         for proc in procs:
             proc.join(timeout=5)

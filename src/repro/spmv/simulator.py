@@ -16,6 +16,7 @@ import numpy as np
 from repro._util import INDEX_DTYPE
 from repro.core.decomposition import Decomposition
 from repro.spmv.stats import CommStats
+from repro.telemetry import get_recorder
 
 __all__ = ["SpmvResult", "simulate_spmv", "communication_stats", "Message"]
 
@@ -71,26 +72,43 @@ def _phase(
 
 
 def communication_stats(dec: Decomposition) -> CommStats:
-    """Exact communication statistics of *dec* (no arithmetic performed)."""
-    k, m = dec.k, dec.m
+    """Exact communication statistics of *dec* (no arithmetic performed).
 
-    # expand: processors holding a nonzero of column j need x_j
-    col_pairs = np.unique(dec.nnz_col * k + dec.nnz_owner)
-    e_elem = col_pairs // k
-    e_holder = col_pairs % k
-    e_owner = dec.x_owner[e_elem]
-    e_sent, e_recv, e_msgs, _, _ = _phase(e_elem, e_owner, e_holder, k)
+    When a telemetry recorder is active, the per-phase message and word
+    totals are also recorded as counters (``spmv.expand.words`` etc.) on a
+    ``spmv.stats`` span, so traces can be cross-checked against the
+    returned :class:`CommStats`.
+    """
+    rec = get_recorder()
+    with rec.span("spmv.stats", k=dec.k, nnz=len(dec.nnz_owner)) as sp:
+        k, m = dec.k, dec.m
 
-    # fold: processors holding a nonzero of row i produce a partial y_i
-    row_pairs = np.unique(dec.nnz_row * k + dec.nnz_owner)
-    f_elem = row_pairs // k
-    f_holder = row_pairs % k
-    f_owner = dec.y_owner[f_elem]
-    # fold flows the opposite way round: holders send to the owner, so the
-    # "sender" argument of _phase is the holder side
-    f_sent, f_recv, f_msgs, _, _ = _phase(f_elem, f_holder, f_owner, k)
+        with rec.span("spmv.stats.expand"):
+            # expand: processors holding a nonzero of column j need x_j
+            col_pairs = np.unique(dec.nnz_col * k + dec.nnz_owner)
+            e_elem = col_pairs // k
+            e_holder = col_pairs % k
+            e_owner = dec.x_owner[e_elem]
+            e_sent, e_recv, e_msgs, _, _ = _phase(e_elem, e_owner, e_holder, k)
 
-    compute = np.bincount(dec.nnz_owner, minlength=k).astype(INDEX_DTYPE)
+        with rec.span("spmv.stats.fold"):
+            # fold: processors holding a nonzero of row i produce a partial
+            # y_i
+            row_pairs = np.unique(dec.nnz_row * k + dec.nnz_owner)
+            f_elem = row_pairs // k
+            f_holder = row_pairs % k
+            f_owner = dec.y_owner[f_elem]
+            # fold flows the opposite way round: holders send to the owner,
+            # so the "sender" argument of _phase is the holder side
+            f_sent, f_recv, f_msgs, _, _ = _phase(f_elem, f_holder, f_owner, k)
+
+        if rec.enabled:
+            sp.add("spmv.expand.words", int(e_sent.sum()))
+            sp.add("spmv.expand.msgs", int(e_msgs.sum()))
+            sp.add("spmv.fold.words", int(f_sent.sum()))
+            sp.add("spmv.fold.msgs", int(f_msgs.sum()))
+
+        compute = np.bincount(dec.nnz_owner, minlength=k).astype(INDEX_DTYPE)
     return CommStats(
         k=k,
         m=m,
@@ -128,38 +146,42 @@ def simulate_spmv(
     if x.shape != (dec.n,):
         raise ValueError("x has wrong shape")
 
-    stats = communication_stats(dec)
+    rec = get_recorder()
+    with rec.span("spmv.simulate", k=k, nnz=len(dec.nnz_owner)):
+        stats = communication_stats(dec)
 
-    # local multiply: partial_{i,p} = sum of a_ij x_j over nonzeros owned
-    # by p in row i -> grouped reduction keyed by (row, owner)
-    key = dec.nnz_row * k + dec.nnz_owner
-    prod = dec.nnz_val * x[dec.nnz_col]
-    order = np.argsort(key, kind="stable")
-    key_s = key[order]
-    prod_s = prod[order]
-    if len(key_s):
-        new_group = np.empty(len(key_s), dtype=bool)
-        new_group[0] = True
-        new_group[1:] = key_s[1:] != key_s[:-1]
-        gidx = np.cumsum(new_group) - 1
-        partial = np.zeros(int(gidx[-1]) + 1, dtype=np.float64)
-        np.add.at(partial, gidx, prod_s)
-        group_key = key_s[new_group]
-        g_row = group_key // k
-        g_proc = group_key % k
-    else:
-        partial = np.zeros(0, dtype=np.float64)
-        g_row = g_proc = np.zeros(0, dtype=INDEX_DTYPE)
+        with rec.span("spmv.local_multiply"):
+            # local multiply: partial_{i,p} = sum of a_ij x_j over nonzeros
+            # owned by p in row i -> grouped reduction keyed by (row, owner)
+            key = dec.nnz_row * k + dec.nnz_owner
+            prod = dec.nnz_val * x[dec.nnz_col]
+            order = np.argsort(key, kind="stable")
+            key_s = key[order]
+            prod_s = prod[order]
+            if len(key_s):
+                new_group = np.empty(len(key_s), dtype=bool)
+                new_group[0] = True
+                new_group[1:] = key_s[1:] != key_s[:-1]
+                gidx = np.cumsum(new_group) - 1
+                partial = np.zeros(int(gidx[-1]) + 1, dtype=np.float64)
+                np.add.at(partial, gidx, prod_s)
+                group_key = key_s[new_group]
+                g_row = group_key // k
+                g_proc = group_key % k
+            else:
+                partial = np.zeros(0, dtype=np.float64)
+                g_row = g_proc = np.zeros(0, dtype=INDEX_DTYPE)
 
-    # fold: sum partials per row; the sort above already orders partials of
-    # a row by ascending processor id, which is our documented reduction
-    # order at the owner
-    y = np.zeros(m, dtype=np.float64)
-    np.add.at(y, g_row, partial)
+        with rec.span("spmv.fold"):
+            # fold: sum partials per row; the sort above already orders
+            # partials of a row by ascending processor id, which is our
+            # documented reduction order at the owner
+            y = np.zeros(m, dtype=np.float64)
+            np.add.at(y, g_row, partial)
 
-    messages = None
-    if collect_messages:
-        messages = tuple(_build_ledger(dec, g_row, g_proc, k))
+        messages = None
+        if collect_messages:
+            messages = tuple(_build_ledger(dec, g_row, g_proc, k))
     return SpmvResult(y=y, stats=stats, messages=messages)
 
 

@@ -1,0 +1,57 @@
+"""Structured tracing, counters and profiling for the whole pipeline.
+
+The subsystem has three layers:
+
+* :mod:`repro.telemetry.record` — the :class:`SpanRecord` tree nodes;
+* :mod:`repro.telemetry.recorder` — the zero-overhead :class:`NullRecorder`
+  default, the thread-safe :class:`TelemetryRecorder`, and the
+  process-wide active-recorder accessors;
+* :mod:`repro.telemetry.export` — text-tree, NDJSON and flat-JSON
+  exporters.
+
+Instrumentation contract (see ``docs/telemetry.md`` for naming
+conventions): library code records through :func:`get_recorder` and must
+behave identically whether or not a real recorder is active — telemetry
+never touches RNG state and never changes results.
+
+Quick start::
+
+    from repro.telemetry import TelemetryRecorder, use_recorder, render_tree
+
+    with use_recorder() as rec:
+        partition_hypergraph(h, 4, seed=0)
+    print(render_tree(rec))
+
+This package imports only the standard library, so every other
+:mod:`repro` subpackage (including :mod:`repro._util`) may depend on it.
+"""
+
+from repro.telemetry.export import (
+    read_ndjson,
+    render_tree,
+    trace_to_dict,
+    write_ndjson,
+)
+from repro.telemetry.record import SpanRecord
+from repro.telemetry.recorder import (
+    NullRecorder,
+    TelemetryRecorder,
+    Timer,
+    get_recorder,
+    set_recorder,
+    use_recorder,
+)
+
+__all__ = [
+    "SpanRecord",
+    "NullRecorder",
+    "TelemetryRecorder",
+    "Timer",
+    "get_recorder",
+    "set_recorder",
+    "use_recorder",
+    "render_tree",
+    "write_ndjson",
+    "read_ndjson",
+    "trace_to_dict",
+]

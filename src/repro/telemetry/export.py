@@ -1,0 +1,215 @@
+"""Exporters: turn a recorded trace into something a human or tool reads.
+
+Three formats, matching the three consumers of telemetry:
+
+* :func:`render_tree` — indented text tree with durations, attributes and
+  counters; what ``repro profile`` prints to the terminal;
+* :func:`write_ndjson` / :func:`read_ndjson` — one JSON object per line
+  (a ``trace`` header, then each span in depth-first order with parent
+  ids), the archival event-log format; round-trips losslessly;
+* :func:`trace_to_dict` — flat JSON-ready summary (per-phase self-times,
+  aggregated counters, the span list) designed to be embedded into
+  benchmark result files (``BENCH_*.json`` style rows).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from repro.telemetry.record import SpanRecord
+from repro.telemetry.recorder import TelemetryRecorder
+
+__all__ = [
+    "render_tree",
+    "write_ndjson",
+    "read_ndjson",
+    "trace_to_dict",
+]
+
+NDJSON_VERSION = 1
+
+
+def _roots_of(trace: TelemetryRecorder | Iterable[SpanRecord]) -> list[SpanRecord]:
+    if isinstance(trace, TelemetryRecorder):
+        return list(trace.roots)
+    return list(trace)
+
+
+def _fmt_value(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+def _fmt_kv(d: dict) -> str:
+    return " ".join(f"{k}={_fmt_value(v)}" for k, v in d.items())
+
+
+def render_tree(
+    trace: TelemetryRecorder | Iterable[SpanRecord],
+    max_depth: int | None = None,
+    min_duration: float = 0.0,
+    counters: bool = True,
+) -> str:
+    """Human-readable indented span tree.
+
+    ``max_depth`` prunes deep recursions (children beyond the cutoff are
+    summarized into a ``… n spans`` line); ``min_duration`` (seconds) hides
+    spans too quick to matter.  Durations are printed in milliseconds.
+    """
+    lines: list[str] = []
+
+    def emit(span: SpanRecord, depth: int) -> None:
+        if span.duration < min_duration and depth > 0:
+            return
+        indent = "  " * depth
+        label = f"{indent}{span.name}"
+        dur = f"{span.duration * 1e3:10.2f} ms"
+        extra = []
+        if span.attrs:
+            extra.append(_fmt_kv(span.attrs))
+        if counters and span.counters:
+            extra.append(_fmt_kv(span.counters))
+        if span.gauges:
+            extra.append(_fmt_kv(span.gauges))
+        if span.error:
+            extra.append(f"!{span.error}")
+        suffix = ("  " + " | ".join(extra)) if extra else ""
+        lines.append(f"{label:<44}{dur}{suffix}")
+        if max_depth is not None and depth + 1 > max_depth:
+            hidden = sum(1 for _ in span.walk()) - 1
+            if hidden:
+                lines.append(f"{indent}  … {hidden} nested span(s)")
+            return
+        for child in span.children:
+            emit(child, depth + 1)
+
+    for root in _roots_of(trace):
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+# -- NDJSON ----------------------------------------------------------------
+def _span_obj(span: SpanRecord, sid: int, parent: int | None) -> dict:
+    return {
+        "type": "span",
+        "id": sid,
+        "parent": parent,
+        "name": span.name,
+        "start": span.t_start,
+        "end": span.t_end,
+        "duration": span.duration,
+        "attrs": span.attrs,
+        "counters": span.counters,
+        "gauges": span.gauges,
+        "error": span.error,
+    }
+
+
+def write_ndjson(
+    trace: TelemetryRecorder | Iterable[SpanRecord],
+    fp: IO[str] | str,
+) -> int:
+    """Write the trace as NDJSON to *fp* (a path or text file object).
+
+    Returns the number of lines written.  The first line is a ``trace``
+    header carrying the format version and any orphan counters/gauges;
+    subsequent lines are spans in depth-first order with ``id``/``parent``
+    links, so :func:`read_ndjson` can rebuild the exact tree.
+    """
+    if isinstance(fp, str):
+        with open(fp, "w") as f:
+            return write_ndjson(trace, f)
+
+    orphan_counters: dict = {}
+    orphan_gauges: dict = {}
+    if isinstance(trace, TelemetryRecorder):
+        orphan_counters = trace.orphan_counters
+        orphan_gauges = trace.orphan_gauges
+
+    header = {
+        "type": "trace",
+        "version": NDJSON_VERSION,
+        "orphan_counters": orphan_counters,
+        "orphan_gauges": orphan_gauges,
+    }
+    fp.write(json.dumps(header) + "\n")
+    n = 1
+    next_id = 0
+
+    def emit(span: SpanRecord, parent: int | None) -> None:
+        nonlocal n, next_id
+        sid = next_id
+        next_id += 1
+        fp.write(json.dumps(_span_obj(span, sid, parent)) + "\n")
+        n += 1
+        for child in span.children:
+            emit(child, sid)
+
+    for root in _roots_of(trace):
+        emit(root, None)
+    return n
+
+
+def read_ndjson(fp: IO[str] | str) -> tuple[list[SpanRecord], dict]:
+    """Parse an NDJSON trace back into ``(roots, orphan_counters)``."""
+    if isinstance(fp, str):
+        with open(fp) as f:
+            return read_ndjson(f)
+
+    roots: list[SpanRecord] = []
+    by_id: dict[int, SpanRecord] = {}
+    orphan_counters: dict = {}
+    for line in fp:
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        if obj["type"] == "trace":
+            orphan_counters = obj.get("orphan_counters", {})
+            continue
+        if obj["type"] != "span":  # ignore unknown event types
+            continue
+        span = SpanRecord(obj["name"], obj.get("attrs"), obj.get("start", 0.0))
+        span.t_end = obj.get("end")
+        span.counters = dict(obj.get("counters", {}))
+        span.gauges = dict(obj.get("gauges", {}))
+        span.error = obj.get("error")
+        by_id[obj["id"]] = span
+        parent = obj.get("parent")
+        if parent is None:
+            roots.append(span)
+        else:
+            by_id[parent].children.append(span)
+    return roots, orphan_counters
+
+
+# -- flat JSON -------------------------------------------------------------
+def trace_to_dict(rec: TelemetryRecorder, spans: bool = True) -> dict:
+    """JSON-ready flat summary of a recorded trace.
+
+    Keys: ``phases`` (self-time seconds per span name — values sum to the
+    traced wall time), ``counters`` (aggregated totals), and, when *spans*
+    is true, ``spans`` (the depth-first flat span list).
+    """
+    out = {
+        "phases": rec.durations_by_name(self_time=True),
+        "counters": rec.counter_totals(),
+    }
+    if spans:
+        flat: list[dict] = []
+        next_id = 0
+
+        def emit(span: SpanRecord, parent: int | None) -> None:
+            nonlocal next_id
+            sid = next_id
+            next_id += 1
+            flat.append(_span_obj(span, sid, parent))
+            for child in span.children:
+                emit(child, sid)
+
+        for root in rec.roots:
+            emit(root, None)
+        out["spans"] = flat
+    return out

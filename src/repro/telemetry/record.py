@@ -1,0 +1,89 @@
+"""The span record: one timed region of the pipeline.
+
+A trace is a forest of :class:`SpanRecord` trees.  Each span carries
+
+* **attributes** — key/value facts known about the region (``k=16``,
+  ``vertices=1024``); set at open time or later via :meth:`set`;
+* **counters** — monotonically accumulated quantities scoped to the span
+  (``fm.moves``, ``spmv.expand.words``); incremented via :meth:`add`;
+* **gauges** — last-write-wins measurements (``shrink=0.42``).
+
+Spans are plain mutable objects with no clock of their own; the recorder
+stamps ``t_start``/``t_end`` as offsets from its epoch so traces are
+relocatable and trivially serializable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["SpanRecord"]
+
+
+class SpanRecord:
+    """One node of the span tree.  See the module docstring."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "t_start",
+        "t_end",
+        "children",
+        "counters",
+        "gauges",
+        "error",
+    )
+
+    def __init__(self, name: str, attrs: dict | None = None, t_start: float = 0.0):
+        self.name = name
+        self.attrs: dict = dict(attrs) if attrs else {}
+        self.t_start = t_start
+        self.t_end: float | None = None
+        self.children: list[SpanRecord] = []
+        self.counters: dict[str, int | float] = {}
+        self.gauges: dict[str, float] = {}
+        #: exception type name if the span body raised, else None
+        self.error: str | None = None
+
+    # -- mutation (used by instrumented code through the recorder) ---------
+    def set(self, **attrs) -> "SpanRecord":
+        """Attach attributes discovered after the span opened."""
+        self.attrs.update(attrs)
+        return self
+
+    def add(self, name: str, value: int | float = 1) -> None:
+        """Increment counter *name* by *value* on this span."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge *name* to *value* on this span (last write wins)."""
+        self.gauges[name] = value
+
+    # -- inspection --------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds between open and close (0.0 while open)."""
+        if self.t_end is None:
+            return 0.0
+        return self.t_end - self.t_start
+
+    @property
+    def self_duration(self) -> float:
+        """Duration minus the duration of direct children (own work)."""
+        return max(0.0, self.duration - sum(c.duration for c in self.children))
+
+    def walk(self, depth: int = 0) -> Iterator[tuple["SpanRecord", int]]:
+        """Depth-first iteration over this span and its descendants."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def find(self, name: str) -> list["SpanRecord"]:
+        """All descendant spans (including self) named *name*."""
+        return [s for s, _ in self.walk() if s.name == name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpanRecord({self.name!r}, duration={self.duration:.6f}, "
+            f"children={len(self.children)})"
+        )

@@ -1,0 +1,286 @@
+"""Recorders: where instrumented code sends its spans and counters.
+
+Two implementations share the same duck-typed surface:
+
+* :class:`NullRecorder` — the process-wide default.  Every operation is a
+  no-op on pre-allocated singletons, so instrumentation left in hot paths
+  costs one attribute lookup and an empty context-manager enter/exit.
+  Crucially it allocates nothing and never touches an RNG, so partitioner
+  results are bit-identical with telemetry off.
+* :class:`TelemetryRecorder` — collects a forest of
+  :class:`~repro.telemetry.record.SpanRecord` trees.  The span stack is
+  thread-local (concurrent threads build disjoint subtrees) and the shared
+  root list is lock-protected, so one recorder can serve a whole process.
+
+Instrumented code uses the module-level *active recorder*::
+
+    from repro.telemetry import get_recorder
+
+    def hot_function():
+        with get_recorder().span("phase", k=4) as sp:
+            ...
+            sp.add("items", n)
+
+and callers opt in around a region::
+
+    with use_recorder(TelemetryRecorder()) as rec:
+        hot_function()
+    print(render_tree(rec))
+
+This module deliberately imports nothing from the rest of :mod:`repro`
+(stdlib only) so every subpackage — including :mod:`repro._util` — may
+depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+
+from repro.telemetry.record import SpanRecord
+
+__all__ = [
+    "NullRecorder",
+    "TelemetryRecorder",
+    "get_recorder",
+    "set_recorder",
+    "use_recorder",
+    "Timer",
+]
+
+
+class _NullSpan:
+    """Inert stand-in for a :class:`SpanRecord`; one shared instance."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def add(self, name: str, value: int | float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    @property
+    def duration(self) -> float:
+        return 0.0
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Zero-overhead recorder; the process default."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def add(self, name: str, value: int | float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+
+class _SpanHandle:
+    """Context manager that opens/closes one span on a recorder."""
+
+    __slots__ = ("_rec", "_span")
+
+    def __init__(self, rec: "TelemetryRecorder", name: str, attrs: dict):
+        self._rec = rec
+        self._span = SpanRecord(name, attrs)
+
+    def __enter__(self) -> SpanRecord:
+        rec = self._rec
+        span = self._span
+        span.t_start = rec._now()
+        stack = rec._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with rec._lock:
+                rec.roots.append(span)
+        stack.append(span)
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        rec = self._rec
+        span = self._span
+        span.t_end = rec._now()
+        if exc_type is not None:
+            span.error = exc_type.__name__
+        stack = rec._stack()
+        # exception safety: close any unclosed inner spans too, then pop
+        while stack and stack[-1] is not span:
+            dangling = stack.pop()
+            if dangling.t_end is None:
+                dangling.t_end = span.t_end
+        if stack:
+            stack.pop()
+        return False
+
+
+class TelemetryRecorder:
+    """Thread-safe in-process trace collector (see module docstring)."""
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        #: finished and in-flight top-level spans, in start order
+        self.roots: list[SpanRecord] = []
+        #: counters recorded with no span open
+        self.orphan_counters: dict[str, int | float] = {}
+        #: gauges recorded with no span open
+        self.orphan_gauges: dict[str, float] = {}
+
+    # -- internals ---------------------------------------------------------
+    def _now(self) -> float:
+        return self._clock() - self._epoch
+
+    def _stack(self) -> list[SpanRecord]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    # -- recording surface (duck-typed with NullRecorder) ------------------
+    def span(self, name: str, **attrs) -> _SpanHandle:
+        """Open a span named *name*; use as a context manager."""
+        return _SpanHandle(self, name, attrs)
+
+    def current(self) -> SpanRecord | None:
+        """The innermost open span of the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def add(self, name: str, value: int | float = 1) -> None:
+        """Increment counter *name* on the current span (or the orphan
+        table when no span is open)."""
+        cur = self.current()
+        if cur is not None:
+            cur.add(name, value)
+        else:
+            with self._lock:
+                self.orphan_counters[name] = (
+                    self.orphan_counters.get(name, 0) + value
+                )
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge *name* on the current span (or the orphan table)."""
+        cur = self.current()
+        if cur is not None:
+            cur.gauge(name, value)
+        else:
+            with self._lock:
+                self.orphan_gauges[name] = value
+
+    # -- aggregation -------------------------------------------------------
+    def counter_totals(self) -> dict[str, int | float]:
+        """Every counter summed across the whole trace (plus orphans)."""
+        totals: dict[str, int | float] = dict(self.orphan_counters)
+        for root in self.roots:
+            for span, _ in root.walk():
+                for key, val in span.counters.items():
+                    totals[key] = totals.get(key, 0) + val
+        return totals
+
+    def durations_by_name(self, self_time: bool = True) -> dict[str, float]:
+        """Total seconds per span name.
+
+        With ``self_time=True`` (default) each span contributes its own
+        duration minus its children's, so the values partition the trace's
+        wall time and recursive spans (e.g. nested bisections) are not
+        double-counted.
+        """
+        out: dict[str, float] = {}
+        for root in self.roots:
+            for span, _ in root.walk():
+                d = span.self_duration if self_time else span.duration
+                out[span.name] = out.get(span.name, 0.0) + d
+        return out
+
+
+# -- the active recorder ---------------------------------------------------
+_ACTIVE: NullRecorder | TelemetryRecorder = NullRecorder()
+
+
+def get_recorder() -> NullRecorder | TelemetryRecorder:
+    """The process-wide active recorder (a no-op one unless opted in)."""
+    return _ACTIVE
+
+
+def set_recorder(rec: NullRecorder | TelemetryRecorder | None):
+    """Install *rec* as the active recorder (``None`` restores the no-op
+    default); returns the previously active recorder."""
+    global _ACTIVE
+    prev = _ACTIVE
+    _ACTIVE = rec if rec is not None else NullRecorder()
+    return prev
+
+
+@contextlib.contextmanager
+def use_recorder(rec: TelemetryRecorder | None = None):
+    """Context manager: activate *rec* (a fresh :class:`TelemetryRecorder`
+    by default) for the enclosed block and restore the previous recorder
+    afterwards.  Yields the activated recorder."""
+    rec = rec if rec is not None else TelemetryRecorder()
+    prev = set_recorder(rec)
+    try:
+        yield rec
+    finally:
+        set_recorder(prev)
+
+
+class Timer:
+    """Minimal wall-clock timer — kept as a thin shim over the telemetry
+    clock so legacy call sites (and tests) continue to work.
+
+    Usage::
+
+        with Timer() as t:
+            work()
+        print(t.elapsed)
+
+    When *name* is given and a real recorder is active, the timed region is
+    also recorded as a span, so un-migrated call sites can join traces one
+    keyword at a time.
+    """
+
+    def __init__(self, name: str | None = None, **attrs) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+        self._name = name
+        self._attrs = attrs
+        self._span_cm = None
+
+    def __enter__(self) -> "Timer":
+        if self._name is not None:
+            rec = get_recorder()
+            if rec.enabled:
+                self._span_cm = rec.span(self._name, **self._attrs)
+                self._span_cm.__enter__()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type=None, exc=None, tb=None) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        if self._span_cm is not None:
+            self._span_cm.__exit__(exc_type, exc, tb)
+            self._span_cm = None
