@@ -12,7 +12,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import decompose_2d_finegrain, simulate_spmv
+from repro import decompose, simulate_spmv
 from repro.matrix import load_collection_matrix
 
 K = 16
@@ -24,8 +24,12 @@ def main() -> None:
     a = load_collection_matrix("ken-11", scale=0.125, seed=0)
     print(f"matrix: {a.shape[0]} x {a.shape[1]}, {a.nnz} nonzeros")
 
-    dec, info = decompose_2d_finegrain(a, K, seed=0)
-    print(f"partitioner: {info.summary()}")
+    # the unified front door; method="columnnet"/"rownet"/"graph"/
+    # "finegrain-rect" select the baseline models, and n_starts>1 runs
+    # the multi-start engine (best of N independent seeded attempts)
+    res = decompose(a, K, method="finegrain", seed=0)
+    dec, info = res.decomposition, res.info
+    print(f"partitioner: {res.summary()}")
 
     x = np.random.default_rng(1).standard_normal(a.shape[0])
     result = simulate_spmv(dec, x)

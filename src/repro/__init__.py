@@ -4,14 +4,14 @@ sparse-matrix decomposition (Çatalyürek & Aykanat, IPPS 2001).
 Quickstart::
 
     import scipy.sparse as sp
-    from repro import decompose_2d_finegrain, simulate_spmv
+    from repro import decompose, simulate_spmv
 
     a = sp.random(1000, 1000, density=0.01, format="csr", random_state=0)
-    dec, info = decompose_2d_finegrain(a, k=16, seed=0)
-    result = simulate_spmv(dec)
-    print(info.summary())
+    res = decompose(a, k=16, method="finegrain", seed=0, n_starts=4)
+    result = simulate_spmv(res.decomposition)
+    print(res.summary())
     print(result.stats.summary())
-    assert result.stats.total_volume == info.cutsize   # the paper's theorem
+    assert result.stats.total_volume == res.cutsize   # the paper's theorem
 
 Packages:
 
@@ -31,8 +31,10 @@ Packages:
 
 from repro.core import (
     Decomposition,
+    DecomposeResult,
     FineGrainModel,
     build_finegrain_model,
+    decompose,
     decompose_1d_columnnet,
     decompose_1d_graph,
     decompose_1d_rownet,
@@ -42,7 +44,13 @@ from repro.core import (
     decomposition_from_row_partition,
 )
 from repro.hypergraph import Hypergraph, Partition
-from repro.partitioner import PartitionerConfig, PartitionResult, partition_hypergraph
+from repro.partitioner import (
+    PartitionerConfig,
+    PartitionResult,
+    StartStat,
+    partition_hypergraph,
+    partition_multistart,
+)
 from repro.graph import Graph, partition_graph
 from repro.spmv import CommStats, communication_stats, simulate_spmv
 
@@ -50,8 +58,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Decomposition",
+    "DecomposeResult",
     "FineGrainModel",
     "build_finegrain_model",
+    "decompose",
     "decompose_1d_columnnet",
     "decompose_1d_graph",
     "decompose_1d_rownet",
@@ -63,7 +73,9 @@ __all__ = [
     "Partition",
     "PartitionerConfig",
     "PartitionResult",
+    "StartStat",
     "partition_hypergraph",
+    "partition_multistart",
     "Graph",
     "partition_graph",
     "CommStats",

@@ -22,6 +22,7 @@ __all__ = [
     "check_in_range",
     "check_positive",
     "ensure_int_array",
+    "multi_arange",
     "prefix_from_counts",
     "Timer",
 ]
@@ -73,6 +74,24 @@ def ensure_int_array(data: Iterable[int] | np.ndarray, name: str = "array") -> n
     else:
         raise TypeError(f"{name} must be an integer array, got dtype {arr.dtype}")
     return np.ascontiguousarray(arr)
+
+
+def multi_arange(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(starts[i], starts[i] + counts[i])`` for all i.
+
+    The vectorized equivalent of gathering many CSR segments at once:
+    ``data[multi_arange(offsets[sel], lengths[sel])]`` pulls the selected
+    segments in order without a Python loop.
+    """
+    starts = np.asarray(starts, dtype=INDEX_DTYPE)
+    counts = np.asarray(counts, dtype=INDEX_DTYPE)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=INDEX_DTYPE)
+    ends = np.cumsum(counts)
+    return np.repeat(starts - (ends - counts), counts) + np.arange(
+        total, dtype=INDEX_DTYPE
+    )
 
 
 def prefix_from_counts(counts: Sequence[int] | np.ndarray) -> np.ndarray:

@@ -17,6 +17,9 @@ models2d
 experiments
     Run the table2 sweep and write EXPERIMENTS.md with every measurement
     next to the paper's published value (see ``--output``).
+multistart
+    Benchmark the multi-start engine against the recorded pre-PR
+    sequential baseline and write BENCH_multistart.json.
 
 Common options: ``--scale`` (matrix size factor, default 0.125 so a laptop
 finishes in minutes; 1.0 reproduces the original sizes), ``--ks``,
@@ -45,7 +48,10 @@ def _parse(argv):
     p = argparse.ArgumentParser(prog="python -m repro.bench", description=__doc__)
     p.add_argument(
         "command",
-        choices=["table1", "table2", "summary", "models2d", "experiments"],
+        choices=[
+            "table1", "table2", "summary", "models2d", "experiments",
+            "multistart",
+        ],
     )
     p.add_argument("--output", default="EXPERIMENTS.md",
                    help="output path for the experiments command")
@@ -60,6 +66,10 @@ def _parse(argv):
                    help="subset of collection matrices (default: all 14)")
     p.add_argument("--epsilon", type=float, default=0.03)
     p.add_argument("--matrix-seed", type=int, default=0)
+    p.add_argument("--starts", type=int, default=4,
+                   help="multistart command: engine starts per instance")
+    p.add_argument("--workers", type=int, default=4,
+                   help="multistart command: process-backend workers")
     p.add_argument("--profile", action="store_true",
                    help="record telemetry and print a per-phase time "
                         "breakdown for every instance")
@@ -104,6 +114,20 @@ def _write_profile_json(results, path: str) -> None:
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
     args = _parse(argv if argv is not None else sys.argv[1:])
+
+    if args.command == "multistart":
+        from repro.bench.multistart import run_multistart_bench, write_multistart_bench
+
+        doc = run_multistart_bench(
+            n_starts=args.starts,
+            n_workers=args.workers,
+            progress=lambda s: print(f"  {s}", file=sys.stderr),
+        )
+        path = args.output if args.output != "EXPERIMENTS.md" else "BENCH_multistart.json"
+        write_multistart_bench(path, doc)
+        print(f"wrote {path}")
+        return 0
+
     names = args.matrices or collection_names()
     unknown = set(names) - set(collection_names())
     if unknown:

@@ -15,11 +15,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro._util import Timer
-from repro.core.api import (
-    decompose_1d_columnnet,
-    decompose_1d_graph,
-    decompose_2d_finegrain,
-)
+from repro.core.api import decompose
 from repro.partitioner import PartitionerConfig
 from repro.spmv.simulator import communication_stats
 from repro.telemetry import TelemetryRecorder, use_recorder
@@ -33,11 +29,12 @@ __all__ = [
     "run_table2",
 ]
 
-#: model key -> decomposition function, in the paper's Table 2 column order
-MODELS: dict[str, Callable] = {
-    "graph": decompose_1d_graph,
-    "hypergraph1d": decompose_1d_columnnet,
-    "finegrain2d": decompose_2d_finegrain,
+#: model key -> :func:`repro.decompose` method name, in the paper's
+#: Table 2 column order
+MODELS: dict[str, str] = {
+    "graph": "graph",
+    "hypergraph1d": "columnnet",
+    "finegrain2d": "finegrain",
 }
 
 #: the K values of Table 2
@@ -102,21 +99,21 @@ def run_instance(
     """
     if model not in MODELS:
         raise KeyError(f"unknown model {model!r}; choose from {sorted(MODELS)}")
-    fn = MODELS[model]
+    method = MODELS[model]
     m = a.shape[0]
     tots, maxs, msgs, times, imbs, cuts = [], [], [], [], [], []
     rec = TelemetryRecorder() if profile else None
 
     def one_seed(s: int) -> None:
         with Timer("bench.seed", seed=base_seed + s) as t:
-            dec, info = fn(a, k, config=config, seed=base_seed + s)
-        stats = communication_stats(dec)
+            r = decompose(a, k, method=method, config=config, seed=base_seed + s)
+        stats = communication_stats(r.decomposition)
         tots.append(stats.total_volume / m)
         maxs.append(stats.max_volume / m)
         msgs.append(stats.avg_messages)
         times.append(t.elapsed)
         imbs.append(stats.load_imbalance)
-        cuts.append(getattr(info, "cutsize", getattr(info, "edge_cut", 0)))
+        cuts.append(r.cutsize)
 
     if rec is not None:
         with use_recorder(rec):

@@ -28,12 +28,7 @@ import sys
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.api import (
-    decompose_1d_columnnet,
-    decompose_1d_graph,
-    decompose_1d_rownet,
-    decompose_2d_finegrain,
-)
+from repro.core.api import decompose
 from repro.matrix.collection import load_collection_matrix
 from repro.matrix.io import read_matrix_market
 from repro.matrix.stats import matrix_stats
@@ -47,11 +42,23 @@ from repro.spmv import communication_stats, simulate_spmv
 
 __all__ = ["main", "load_matrix_arg"]
 
+#: CLI model name -> unified decompose() method name (partitioner-backed)
+_DECOMPOSE_METHODS = {
+    "finegrain2d": "finegrain",
+    "hypergraph1d": "columnnet",
+    "rownet1d": "rownet",
+    "graph": "graph",
+}
+
 _MODELS = {
-    "finegrain2d": lambda a, k, cfg, seed: decompose_2d_finegrain(a, k, cfg, seed)[0],
-    "hypergraph1d": lambda a, k, cfg, seed: decompose_1d_columnnet(a, k, cfg, seed)[0],
-    "rownet1d": lambda a, k, cfg, seed: decompose_1d_rownet(a, k, cfg, seed)[0],
-    "graph": lambda a, k, cfg, seed: decompose_1d_graph(a, k, cfg, seed)[0],
+    **{
+        name: (
+            lambda a, k, cfg, seed, _m=method: decompose(
+                a, k, method=_m, config=cfg, seed=seed
+            ).decomposition
+        )
+        for name, method in _DECOMPOSE_METHODS.items()
+    },
     "checkerboard": lambda a, k, cfg, seed: decompose_2d_checkerboard(a, k),
     "jagged": lambda a, k, cfg, seed: decompose_2d_jagged(a, k, cfg, seed),
     "mondriaan": lambda a, k, cfg, seed: decompose_2d_mondriaan(a, k, cfg, seed),
@@ -89,6 +96,10 @@ def _parse(argv):
     pp.add_argument("--model", choices=sorted(_MODELS), default="finegrain2d")
     pp.add_argument("--epsilon", type=float, default=0.03)
     pp.add_argument("--seed", type=int, default=0)
+    pp.add_argument("--starts", type=int, default=1,
+                    help="multi-start engine attempts (best cut wins)")
+    pp.add_argument("--workers", type=int, default=1,
+                    help="parallel workers for the multi-start engine")
     pp.add_argument("--output", default=None,
                     help="write ownership arrays to this .npz file")
 
@@ -103,6 +114,8 @@ def _parse(argv):
     pa.add_argument("--model", choices=sorted(_MODELS), default="finegrain2d")
     pa.add_argument("--epsilon", type=float, default=0.03)
     pa.add_argument("--seed", type=int, default=0)
+    pa.add_argument("--starts", type=int, default=1)
+    pa.add_argument("--workers", type=int, default=1)
 
     pf = sub.add_parser(
         "profile", help="trace a decomposition + simulated SpMV end to end"
@@ -112,6 +125,8 @@ def _parse(argv):
     pf.add_argument("--model", choices=sorted(_MODELS), default="finegrain2d")
     pf.add_argument("--epsilon", type=float, default=0.03)
     pf.add_argument("--seed", type=int, default=0)
+    pf.add_argument("--starts", type=int, default=1)
+    pf.add_argument("--workers", type=int, default=1)
     pf.add_argument("--depth", type=int, default=4,
                     help="maximum span-tree depth to print")
     pf.add_argument("--trace", default=None,
@@ -123,6 +138,15 @@ def _parse(argv):
     return p.parse_args(argv)
 
 
+def _config_from_args(args) -> PartitionerConfig:
+    """Build the partitioner config from common CLI options."""
+    return PartitionerConfig(
+        epsilon=args.epsilon,
+        n_starts=getattr(args, "starts", 1),
+        n_workers=getattr(args, "workers", 1),
+    )
+
+
 def _cmd_profile(a: sp.csr_matrix, args) -> int:
     """The ``profile`` command: run everything under a real recorder."""
     from repro.telemetry import (
@@ -132,7 +156,7 @@ def _cmd_profile(a: sp.csr_matrix, args) -> int:
         write_ndjson,
     )
 
-    cfg = PartitionerConfig(epsilon=args.epsilon)
+    cfg = _config_from_args(args)
     with use_recorder() as rec:
         dec = _MODELS[args.model](a, args.k, cfg, args.seed)
         if not args.no_spmv:
@@ -177,7 +201,7 @@ def main(argv=None) -> int:
         return _cmd_profile(a, args)
 
     if args.command == "partition":
-        cfg = PartitionerConfig(epsilon=args.epsilon)
+        cfg = _config_from_args(args)
         dec = _MODELS[args.model](a, args.k, cfg, args.seed)
         stats = communication_stats(dec)
         print(stats.summary())
@@ -199,7 +223,7 @@ def main(argv=None) -> int:
     if args.command == "analyze":
         from repro.analysis import analyze_decomposition, render_report
 
-        cfg = PartitionerConfig(epsilon=args.epsilon)
+        cfg = _config_from_args(args)
         dec = _MODELS[args.model](a, args.k, cfg, args.seed)
         print(render_report(analyze_decomposition(dec)))
         return 0

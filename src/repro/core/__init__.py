@@ -20,6 +20,8 @@ from repro.core.decomposition import (
     decomposition_from_col_partition,
 )
 from repro.core.api import (
+    DecomposeResult,
+    decompose,
     decompose_2d_finegrain,
     decompose_2d_rectangular,
     decompose_1d_columnnet,
@@ -35,6 +37,8 @@ __all__ = [
     "decomposition_from_finegrain_rect",
     "decomposition_from_row_partition",
     "decomposition_from_col_partition",
+    "DecomposeResult",
+    "decompose",
     "decompose_2d_finegrain",
     "decompose_2d_rectangular",
     "decompose_1d_columnnet",

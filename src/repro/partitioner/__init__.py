@@ -26,5 +26,12 @@ paper's reduction-problem extension.
 
 from repro.partitioner.config import PartitionerConfig
 from repro.partitioner.driver import PartitionResult, partition_hypergraph
+from repro.partitioner.engine import StartStat, partition_multistart
 
-__all__ = ["PartitionerConfig", "PartitionResult", "partition_hypergraph"]
+__all__ = [
+    "PartitionerConfig",
+    "PartitionResult",
+    "StartStat",
+    "partition_hypergraph",
+    "partition_multistart",
+]

@@ -20,12 +20,148 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro._util import INDEX_DTYPE, as_rng, prefix_from_counts
+from repro._util import INDEX_DTYPE, as_rng, multi_arange, prefix_from_counts
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.partitioner.config import PartitionerConfig
 from repro.telemetry import get_recorder
 
 __all__ = ["match_vertices", "build_coarse", "coarsen_level", "CoarseLevel", "coarsen"]
+
+#: expansion budget (expanded candidate pins) per scoring chunk of the
+#: vectorized matcher.  Chunks are cut by expected expansion work rather
+#: than vertex count: larger budgets amortize numpy call overhead, smaller
+#: ones waste less scoring on vertices that get absorbed into a cluster
+#: mid-chunk.  Dense instances (big nets) therefore get short chunks
+#: automatically, sparse ones long.
+_SCORE_BUDGET = 100_000
+
+#: below this pin count the scalar matching/contraction loops win: numpy
+#: call overhead dominates batched passes on the small sub-hypergraphs of
+#: deep recursive bisection.  Both paths are bit-identical, so the switch
+#: point affects speed only, never results.
+_VECTOR_MIN_PINS = 100_000
+
+#: within the scalar matcher, a single vertex whose scoring expansion
+#: (pins behind its eligible nets) reaches this many entries gets a
+#: one-vertex batched pass instead of the per-pin loop.  Dense rows/columns
+#: produce such vertices; batching them has zero wasted work because the
+#: vertex is already known to be unclustered.
+_VERTEX_VECTOR_MIN = 3000
+
+#: like :data:`_VECTOR_MIN_PINS` but for the coarse-build contraction,
+#: whose vectorized dedup pays off earlier than the matcher's
+_VECTOR_MIN_PINS_BUILD = 100_000
+
+#: the dense-vertex branch needs O(pins) numpy precomputation per
+#: match_vertices call; skip it entirely for tiny hypergraphs
+_DENSE_AUX_MIN = 4096
+
+
+def _score_aux(
+    h: Hypergraph, max_net_size: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Scoring-eligibility arrays for matching, cached on *h*.
+
+    Returns ``(sizes, valid, net_score, expand)``: net sizes, which nets are
+    scoring-eligible (``2 <= size <= max_net_size``), the per-net
+    connectivity score ``c_n / (size - 1)``, and per vertex the number of
+    pins behind its eligible nets (the scoring expansion).  All are pure
+    functions of the immutable hypergraph and the net-size cap, so V-cycles
+    and repeated restricted coarsening of the same level reuse them.
+    """
+
+    def make() -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        sizes = np.diff(h.xpins)
+        valid = (sizes >= 2) & (sizes <= max_net_size)
+        net_score = np.where(valid, h.net_costs / np.maximum(sizes - 1, 1), 0.0)
+        vmask = valid[h.vnets]
+        vowner = np.repeat(
+            np.arange(h.num_vertices, dtype=INDEX_DTYPE), np.diff(h.xnets)
+        )
+        expand = np.bincount(
+            vowner[vmask], weights=sizes[h.vnets[vmask]], minlength=h.num_vertices
+        ).astype(np.int64)
+        return sizes, valid, net_score, expand
+
+    return h._view(f"score_aux_{max_net_size}", make)
+
+
+def _chunk_candidates(
+    chunk: np.ndarray,
+    nv: int,
+    xnets: np.ndarray,
+    vnets: np.ndarray,
+    xpins: np.ndarray,
+    pins: np.ndarray,
+    valid: np.ndarray,
+    sizes: np.ndarray,
+    net_score: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Batched match scoring for the vertices of one permutation chunk.
+
+    Returns ``(offsets, cand, pin_total)`` indexed by position within
+    *chunk*: ``cand[offsets[j]:offsets[j+1]]`` are the distinct neighbours
+    of ``chunk[j]`` through scoring-eligible nets, ordered by descending
+    summed ``c_n / (|n| - 1)`` connectivity score (first-encounter order on
+    ties), and ``pin_total[j]`` the pins the scalar loop would have visited.
+
+    Equivalence contract with the scalar scoring loop: nets expand in
+    ascending id order and pins in storage order, candidates keep their
+    first-encounter order, and per-candidate scores accumulate strictly
+    left-to-right in that order (``np.add.at`` is unbuffered), so float
+    sums and every downstream tie-break are bit-identical.
+    """
+    m = len(chunk)
+    empty = (
+        np.zeros(m + 1, dtype=INDEX_DTYPE),
+        np.empty(0, dtype=INDEX_DTYPE),
+        np.zeros(m, dtype=INDEX_DTYPE),
+    )
+    deg = xnets[chunk + 1] - xnets[chunk]
+    if int(deg.sum()) == 0:
+        return empty
+    local = np.repeat(np.arange(m, dtype=INDEX_DTYPE), deg)
+    ns = vnets[multi_arange(xnets[chunk], deg)]
+    ok = valid[ns]
+    ns, local = ns[ok], local[ok]
+    if len(ns) == 0:
+        return empty
+    cnt = sizes[ns]
+    pin_total = np.bincount(local, weights=cnt, minlength=m).astype(INDEX_DTYPE)
+    owner_local = np.repeat(local, cnt)
+    owner = chunk[owner_local]
+    cand = pins[multi_arange(xpins[ns], cnt)]
+    scs = np.repeat(net_score[ns], cnt)
+    keep = cand != owner
+    cand, scs, owner_local = cand[keep], scs[keep], owner_local[keep]
+    if len(cand) == 0:
+        return empty[0], empty[1], pin_total
+
+    # group by (chunk position, candidate); stable sort keeps duplicate
+    # pairs in net order so the unbuffered add reproduces the scalar float
+    # accumulation exactly
+    key = owner_local * np.int64(nv) + cand
+    perm = np.argsort(key, kind="stable")
+    ks = key[perm]
+    boundary = np.r_[True, ks[1:] != ks[:-1]]
+    grp = np.flatnonzero(boundary)
+    gid = np.cumsum(boundary) - 1
+    score = np.zeros(len(grp), dtype=np.float64)
+    np.add.at(score, gid, scs[perm])
+    pair_local = (ks[grp] // nv).astype(INDEX_DTYPE)
+    pair_u = (ks[grp] % nv).astype(INDEX_DTYPE)
+    first_idx = perm[grp]  # stable sort -> first element is min original index
+
+    # Within each chunk vertex, order candidates by descending score, ties
+    # broken by first encounter.  The scalar loop keeps the first strictly
+    # greater score while scanning in encounter order, and its feasibility
+    # checks read cluster state that cannot change mid-scan, so "max score
+    # among feasible, earliest encounter on ties" is exactly "first
+    # feasible in this order" -- letting the greedy pass stop at the first
+    # candidate that passes the constraint checks instead of walking all.
+    order = np.lexsort((first_idx, -score, pair_local))
+    offsets = prefix_from_counts(np.bincount(pair_local, minlength=m))
+    return offsets, pair_u[order], pin_total
 
 
 def match_vertices(
@@ -46,6 +182,14 @@ def match_vertices(
     When *part* is given (V-cycle restricted coarsening), vertices only
     cluster with vertices of the same part, so the partition projects
     exactly onto the coarse hypergraph.
+
+    Above :data:`_VECTOR_MIN_PINS` pins, the per-pin scoring runs as
+    numpy-batched passes over the CSR pin arrays, one permutation-order
+    chunk at a time (scores depend only on the hypergraph, never on
+    cluster state, so batching ahead of the greedy selection is exact);
+    the greedy selection itself stays sequential, preserving the classic
+    HCM/HCC semantics bit for bit.  Below the threshold a scalar loop is
+    used — the two paths produce identical output.
     """
     nv = h.num_vertices
     if max_cluster_weight is None:
@@ -53,18 +197,93 @@ def match_vertices(
     hcm = scheme == "hcm"
     part_l = part.tolist() if part is not None else None
 
-    # plain-list views for the per-vertex scoring loop
-    xnets = h.xnets.tolist()
-    vnets = h.vnets.tolist()
-    xpins = h.xpins.tolist()
-    pins = h.pins.tolist()
-    w = h.vertex_weights.tolist()
-    costs = h.net_costs.tolist()
+    w = h.weights_list()
     fix = fixed.tolist() if fixed is not None else None
 
     cluster: list[int] = [-1] * nv
     cweight: list[int] = []
     cfixed: list[int] = []
+    order = rng.permutation(nv)
+
+    matcher = (
+        _match_chunked if h.num_pins >= _VECTOR_MIN_PINS else _match_scalar
+    )
+    pins_visited = matcher(
+        h, order, part_l, w, fix, cluster, cweight, cfixed,
+        hcm, max_net_size, max_cluster_weight,
+    )
+
+    rec = get_recorder()
+    if rec.enabled:
+        rec.add("coarsen.pins_visited", pins_visited)
+        rec.add("coarsen.clusters", len(cweight))
+    cmap = np.asarray(cluster, dtype=INDEX_DTYPE)
+    return cmap, len(cweight), np.asarray(cfixed, dtype=INDEX_DTYPE)
+
+
+def _dense_candidates(
+    v: int,
+    h: Hypergraph,
+    valid: np.ndarray,
+    sizes: np.ndarray,
+    net_score: np.ndarray,
+) -> list[int]:
+    """Batched scoring of one vertex: candidates in descending-score order
+    (first-encounter order on ties), matching the scalar loop's float
+    accumulation exactly (see :func:`_chunk_candidates` for the argument).
+    """
+    ns = h.vnets[h.xnets[v] : h.xnets[v + 1]]
+    ns = ns[valid[ns]]
+    cnt = sizes[ns]
+    cand = h.pins[multi_arange(h.xpins[ns], cnt)]
+    keep = cand != v
+    cand = cand[keep]
+    if len(cand) == 0:
+        return []
+    scs = np.repeat(net_score[ns], cnt)[keep]
+    perm = np.argsort(cand, kind="stable")
+    cs = cand[perm]
+    boundary = np.r_[True, cs[1:] != cs[:-1]]
+    grp = np.flatnonzero(boundary)
+    gid = np.cumsum(boundary) - 1
+    score = np.zeros(len(grp), dtype=np.float64)
+    np.add.at(score, gid, scs[perm])
+    first_idx = perm[grp]
+    ordr = np.lexsort((first_idx, -score))
+    return cs[grp][ordr].tolist()
+
+
+def _match_scalar(
+    h: Hypergraph,
+    order: np.ndarray,
+    part_l: list[int] | None,
+    w: list[int],
+    fix: list[int] | None,
+    cluster: list[int],
+    cweight: list[int],
+    cfixed: list[int],
+    hcm: bool,
+    max_net_size: int,
+    max_cluster_weight: int,
+) -> int:
+    """Reference scalar matching loop (fast on small hypergraphs).
+
+    Vertices whose scoring expansion is dense (``_VERTEX_VECTOR_MIN``)
+    are scored by a one-vertex batched pass — same candidates, same float
+    accumulation order, same selection result as the per-pin loop.
+    """
+    nv = h.num_vertices
+    xnets = h.xnets_list()
+    vnets = h.vnets_list()
+    xpins = h.xpins_list()
+    pins = h.pins_list()
+    costs = h.costs_list()
+
+    dense_aux = None
+    if h.num_pins >= _DENSE_AUX_MIN:
+        sizes_np, valid_np, net_score, expand_np = _score_aux(h, max_net_size)
+        expand = h._view(f"expand_l_{max_net_size}", expand_np.tolist)
+        dense_aux = (valid_np, sizes_np, net_score)
 
     # flat score accumulator: positive increments only, so score == 0.0
     # doubles as the "untouched" marker (cheaper than a dict by ~2x on the
@@ -73,48 +292,80 @@ def match_vertices(
     touched: list[int] = []
     pins_visited = 0
 
-    order = rng.permutation(nv)
-    for v in order:
-        v = int(v)
+    for v in order.tolist():
         if cluster[v] != -1:
             continue
         fv = fix[v] if fix is not None else -1
-        touched.clear()
-        for t in range(xnets[v], xnets[v + 1]):
-            n = vnets[t]
-            lo, hi = xpins[n], xpins[n + 1]
-            sz = hi - lo
-            if sz < 2 or sz > max_net_size:
-                continue
-            pins_visited += sz
-            sc = costs[n] / (sz - 1)
-            for j in range(lo, hi):
-                u = pins[j]
-                if u != v:
-                    if score[u] == 0.0:
-                        touched.append(u)
-                    score[u] += sc
-        best_u = -1
-        best_s = 0.0
         wv = w[v]
         pv = part_l[v] if part_l is not None else -1
-        for u in touched:
-            s = score[u]
-            score[u] = 0.0
-            if s <= best_s:
-                continue
-            if part_l is not None and part_l[u] != pv:
-                continue  # restricted (V-cycle) coarsening: stay in-part
-            cu = cluster[u]
-            if hcm and cu != -1:
-                continue  # pure matching never grows a cluster
-            tw = (cweight[cu] if cu != -1 else w[u]) + wv
-            if tw > max_cluster_weight:
-                continue
-            fu = cfixed[cu] if cu != -1 else (fix[u] if fix is not None else -1)
-            if fv != -1 and fu != -1 and fu != fv:
-                continue
-            best_u, best_s = u, s
+        best_u = -1
+        if dense_aux is not None and expand[v] >= _VERTEX_VECTOR_MIN:
+            pins_visited += expand[v]
+            # candidates arrive score-descending: first feasible one wins
+            for u in _dense_candidates(v, h, *dense_aux):
+                if part_l is not None and part_l[u] != pv:
+                    continue  # restricted coarsening: stay in-part
+                cu = cluster[u]
+                if hcm and cu != -1:
+                    continue  # pure matching never grows a cluster
+                tw = (cweight[cu] if cu != -1 else w[u]) + wv
+                if tw > max_cluster_weight:
+                    continue
+                fu = (
+                    cfixed[cu]
+                    if cu != -1
+                    else (fix[u] if fix is not None else -1)
+                )
+                if fv != -1 and fu != -1 and fu != fv:
+                    continue
+                best_u = u
+                break
+        else:
+            touched.clear()
+            for n in vnets[xnets[v] : xnets[v + 1]]:
+                lo, hi = xpins[n], xpins[n + 1]
+                sz = hi - lo
+                if sz == 2 <= max_net_size:
+                    # dominant case in fine-grain models: the one other pin
+                    pins_visited += 2
+                    u = pins[lo]
+                    if u == v:
+                        u = pins[lo + 1]
+                    if score[u] == 0.0:
+                        touched.append(u)
+                    score[u] += costs[n]
+                    continue
+                if sz < 2 or sz > max_net_size:
+                    continue
+                pins_visited += sz
+                sc = costs[n] / (sz - 1)
+                for u in pins[lo:hi]:
+                    if u != v:
+                        if score[u] == 0.0:
+                            touched.append(u)
+                        score[u] += sc
+            best_s = 0.0
+            for u in touched:
+                s = score[u]
+                score[u] = 0.0
+                if s <= best_s:
+                    continue
+                if part_l is not None and part_l[u] != pv:
+                    continue  # restricted (V-cycle) coarsening: stay in-part
+                cu = cluster[u]
+                if hcm and cu != -1:
+                    continue  # pure matching never grows a cluster
+                tw = (cweight[cu] if cu != -1 else w[u]) + wv
+                if tw > max_cluster_weight:
+                    continue
+                fu = (
+                    cfixed[cu]
+                    if cu != -1
+                    else (fix[u] if fix is not None else -1)
+                )
+                if fv != -1 and fu != -1 and fu != fv:
+                    continue
+                best_u, best_s = u, s
         if best_u == -1:
             cluster[v] = len(cweight)
             cweight.append(wv)
@@ -130,13 +381,87 @@ def match_vertices(
             cweight[cu] += wv
             if fv != -1:
                 cfixed[cu] = fv
+    return pins_visited
 
-    rec = get_recorder()
-    if rec.enabled:
-        rec.add("coarsen.pins_visited", pins_visited)
-        rec.add("coarsen.clusters", len(cweight))
-    cmap = np.asarray(cluster, dtype=INDEX_DTYPE)
-    return cmap, len(cweight), np.asarray(cfixed, dtype=INDEX_DTYPE)
+
+def _match_chunked(
+    h: Hypergraph,
+    order: np.ndarray,
+    part_l: list[int] | None,
+    w: list[int],
+    fix: list[int] | None,
+    cluster: list[int],
+    cweight: list[int],
+    cfixed: list[int],
+    hcm: bool,
+    max_net_size: int,
+    max_cluster_weight: int,
+) -> int:
+    """Vectorized matching: batched scoring, scalar greedy selection."""
+    nv = h.num_vertices
+    pins_visited = 0
+    sizes, valid, net_score, expand = _score_aux(h, max_net_size)
+
+    # the expansion estimate cuts the permutation into roughly equal-work
+    # chunks (pins behind scoring-eligible nets)
+    work = np.cumsum(expand[order])
+    lo = 0
+    while lo < nv:
+        hi = int(np.searchsorted(work, work[lo] + _SCORE_BUDGET, side="right"))
+        hi = max(hi, lo + 1)
+        raw = order[lo:hi]
+        lo = hi
+        # vertices already clustered by an earlier chunk are skipped before
+        # scoring; ones absorbed mid-chunk are skipped at selection below
+        chunk = raw[[cluster[int(v)] == -1 for v in raw]]
+        if len(chunk) == 0:
+            continue
+        offs_a, cand_a, ptot_a = _chunk_candidates(
+            chunk, nv, h.xnets, h.vnets, h.xpins, h.pins, valid, sizes, net_score
+        )
+        offs = offs_a.tolist()
+        cand = cand_a.tolist()
+        ptot = ptot_a.tolist()
+        for j, v in enumerate(chunk.tolist()):
+            if cluster[v] != -1:
+                continue
+            fv = fix[v] if fix is not None else -1
+            pins_visited += ptot[j]
+            best_u = -1
+            wv = w[v]
+            pv = part_l[v] if part_l is not None else -1
+            # candidates arrive score-descending: first feasible one wins
+            for i in range(offs[j], offs[j + 1]):
+                u = cand[i]
+                if part_l is not None and part_l[u] != pv:
+                    continue  # restricted (V-cycle) coarsening: stay in-part
+                cu = cluster[u]
+                if hcm and cu != -1:
+                    continue  # pure matching never grows a cluster
+                tw = (cweight[cu] if cu != -1 else w[u]) + wv
+                if tw > max_cluster_weight:
+                    continue
+                fu = cfixed[cu] if cu != -1 else (fix[u] if fix is not None else -1)
+                if fv != -1 and fu != -1 and fu != fv:
+                    continue
+                best_u = u
+                break
+            if best_u == -1:
+                cluster[v] = len(cweight)
+                cweight.append(wv)
+                cfixed.append(fv)
+            else:
+                cu = cluster[best_u]
+                if cu == -1:
+                    cu = len(cweight)
+                    cweight.append(w[best_u])
+                    cfixed.append(fix[best_u] if fix is not None else -1)
+                    cluster[best_u] = cu
+                cluster[v] = cu
+                cweight[cu] += wv
+                if fv != -1:
+                    cfixed[cu] = fv
+    return pins_visited
 
 
 def build_coarse(h: Hypergraph, cmap: np.ndarray, n_clusters: int) -> Hypergraph:
@@ -160,46 +485,100 @@ def build_coarse(h: Hypergraph, cmap: np.ndarray, n_clusters: int) -> Hypergraph
             validate=False,
         )
 
-    net_of_pin = np.repeat(np.arange(h.num_nets, dtype=INDEX_DTYPE), np.diff(h.xpins))
-    key = net_of_pin * n_clusters + cmap[h.pins]
+    key = h.net_of_pin() * n_clusters + cmap[h.pins]
     uniq = np.unique(key)  # sorted -> pins sorted within each net
     knet = uniq // n_clusters
     kpin = uniq % n_clusters
     sizes = np.bincount(knet, minlength=h.num_nets)
     starts = prefix_from_counts(sizes)
 
-    new_pins_chunks: list[np.ndarray] = []
-    new_costs: list[int] = []
-    counts: list[int] = []
-    seen: dict[bytes, int] = {}
-    costs = h.net_costs
-    for n in range(h.num_nets):
-        lo, hi = starts[n], starts[n + 1]
-        if hi - lo < 2:
-            continue
-        seg = kpin[lo:hi]
-        bkey = seg.tobytes()
-        idx = seen.get(bkey)
-        if idx is None:
-            seen[bkey] = len(new_costs)
-            new_costs.append(int(costs[n]))
-            counts.append(hi - lo)
-            new_pins_chunks.append(seg)
-        else:
-            new_costs[idx] += int(costs[n])
+    if h.num_pins < _VECTOR_MIN_PINS_BUILD:
+        # scalar dict dedup; same output as the vectorized path below
+        new_pins_chunks: list[np.ndarray] = []
+        new_costs: list[int] = []
+        counts: list[int] = []
+        seen: dict[bytes, int] = {}
+        costs_l = h.net_costs
+        for n in range(h.num_nets):
+            lo, hi = starts[n], starts[n + 1]
+            if hi - lo < 2:
+                continue
+            seg = kpin[lo:hi]
+            bkey = seg.tobytes()
+            idx = seen.get(bkey)
+            if idx is None:
+                seen[bkey] = len(new_costs)
+                new_costs.append(int(costs_l[n]))
+                counts.append(hi - lo)
+                new_pins_chunks.append(seg)
+            else:
+                new_costs[idx] += int(costs_l[n])
+        xpins = prefix_from_counts(counts)
+        pins = (
+            np.concatenate(new_pins_chunks)
+            if new_pins_chunks
+            else np.empty(0, dtype=INDEX_DTYPE)
+        )
+        return Hypergraph(
+            n_clusters,
+            xpins,
+            pins,
+            vertex_weights=cw,
+            net_costs=np.asarray(new_costs, dtype=INDEX_DTYPE),
+            validate=False,
+        )
 
-    xpins = prefix_from_counts(counts)
-    pins = (
-        np.concatenate(new_pins_chunks)
-        if new_pins_chunks
-        else np.empty(0, dtype=INDEX_DTYPE)
-    )
+    # identical-net merging, vectorized per size class: nets of equal pin
+    # count stack into a 2D array, np.unique(axis=0) finds duplicates, and
+    # the survivors are re-emitted in first-appearance (net id) order with
+    # summed costs — the same output the sequential dict dedup produced
+    keep = sizes >= 2
+    kept_ids = np.flatnonzero(keep)
+    if len(kept_ids) == 0:
+        return Hypergraph(
+            n_clusters,
+            np.zeros(1, dtype=INDEX_DTYPE),
+            np.empty(0, dtype=INDEX_DTYPE),
+            vertex_weights=cw,
+            net_costs=np.empty(0, dtype=INDEX_DTYPE),
+            validate=False,
+        )
+    kept_sizes = sizes[kept_ids]
+    kp = kpin[multi_arange(starts[kept_ids], kept_sizes)]
+    koffs = prefix_from_counts(kept_sizes)
+    costs = h.net_costs
+
+    first_ids: list[np.ndarray] = []  # original net id of first occurrence
+    seg_flat: list[np.ndarray] = []  # flattened unique segments per class
+    seg_sizes: list[np.ndarray] = []
+    seg_costs: list[np.ndarray] = []
+    for s in np.unique(kept_sizes):
+        sel = np.flatnonzero(kept_sizes == s)
+        rows = kp[koffs[sel][:, None] + np.arange(s)]
+        uq, first, inv = np.unique(
+            rows, axis=0, return_index=True, return_inverse=True
+        )
+        csum = np.zeros(len(uq), dtype=INDEX_DTYPE)
+        np.add.at(csum, inv, costs[kept_ids[sel]])
+        first_ids.append(kept_ids[sel][first])
+        seg_flat.append(uq.ravel())
+        seg_sizes.append(np.full(len(uq), s, dtype=INDEX_DTYPE))
+        seg_costs.append(csum)
+
+    first_all = np.concatenate(first_ids)
+    sizes_all = np.concatenate(seg_sizes)
+    costs_all = np.concatenate(seg_costs)
+    flat_all = np.concatenate(seg_flat)
+    starts_all = prefix_from_counts(sizes_all)[:-1]
+    order = np.argsort(first_all, kind="stable")
+    xpins = prefix_from_counts(sizes_all[order])
+    pins = flat_all[multi_arange(starts_all[order], sizes_all[order])]
     return Hypergraph(
         n_clusters,
         xpins,
         pins,
         vertex_weights=cw,
-        net_costs=np.asarray(new_costs, dtype=INDEX_DTYPE),
+        net_costs=costs_all[order].astype(INDEX_DTYPE),
         validate=False,
     )
 

@@ -52,7 +52,28 @@ class PartitionerConfig:
     #: passes of the direct K-way refinement
     kway_passes: int = 2
     #: independent multi-start runs of the whole pipeline; best cut wins
+    #: (sequential, sharing one RNG stream — see ``n_starts`` for the
+    #: engine-level variant with independent per-start seeds)
     n_runs: int = 1
+    #: independent seeded attempts of the multi-start engine
+    #: (:func:`repro.partitioner.partition_multistart`); the best partition
+    #: by (balance excess, cutsize, start index) wins.  ``1`` runs the
+    #: legacy single-start pipeline unchanged (bit-identical results).
+    n_starts: int = 1
+    #: worker processes/threads for the multi-start engine; ``1`` runs the
+    #: starts sequentially in-process
+    n_workers: int = 1
+    #: backend for ``n_workers > 1``: "process"
+    #: (:class:`concurrent.futures.ProcessPoolExecutor`), "thread",
+    #: "serial", or "auto" (process when multiple CPU cores are available,
+    #: serial otherwise — pure-Python workloads gain nothing from threads)
+    start_backend: str = "auto"
+    #: stop launching further starts once one achieves a feasible partition
+    #: with cutsize at or below this target (``None`` disables).  Trades
+    #: the deterministic "all n_starts run" protocol for wall-clock time;
+    #: with parallel workers the set of completed starts may vary from run
+    #: to run.
+    early_stop_cut: int | None = None
 
     def __post_init__(self) -> None:
         if self.epsilon < 0:
@@ -65,6 +86,12 @@ class PartitionerConfig:
             raise ValueError("n_initial_starts and n_runs must be >= 1")
         if self.n_vcycles < 0:
             raise ValueError("n_vcycles must be >= 0")
+        if self.n_starts < 1 or self.n_workers < 1:
+            raise ValueError("n_starts and n_workers must be >= 1")
+        if self.start_backend not in ("auto", "process", "thread", "serial"):
+            raise ValueError(f"unknown start_backend {self.start_backend!r}")
+        if self.early_stop_cut is not None and self.early_stop_cut < 0:
+            raise ValueError("early_stop_cut must be non-negative")
 
     def with_(self, **kwargs) -> "PartitionerConfig":
         """Return a copy with the given fields replaced."""

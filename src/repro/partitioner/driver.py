@@ -41,6 +41,10 @@ class PartitionResult:
     #: cut of every bisection performed (sums to `cutsize` when the final
     #: direct K-way pass is disabled)
     bisection_cuts: list[int] = field(default_factory=list)
+    #: per-start statistics when produced by the multi-start engine
+    #: (:func:`repro.partitioner.partition_multistart` with ``n_starts > 1``);
+    #: empty for the single-start pipeline
+    start_stats: list = field(default_factory=list)
 
     def summary(self) -> str:
         """One-line human-readable summary."""

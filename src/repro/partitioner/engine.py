@@ -1,0 +1,245 @@
+"""Multi-start partitioning engine.
+
+Runs ``n_starts`` independent seeded multilevel pipelines and keeps the
+best partition by (balance excess, connectivity-1 cutsize, start index) —
+the standard way real partitioners (PaToH's multiple-runs mode, Mondriaan,
+KaHyPar) buy quality and, with parallel workers, wall-clock time.
+
+Execution backends
+------------------
+``serial``
+    The starts run one after another in-process.  Fully deterministic:
+    the per-start seeds derive from the engine seed, every start runs,
+    and the best is chosen by a total order.
+``process``
+    :class:`concurrent.futures.ProcessPoolExecutor` with ``n_workers``
+    workers — the only backend that buys wall-clock time for this
+    pure-Python workload (threads serialize on the GIL).  Falls back to
+    threads, then serial, if process pools are unavailable (restricted
+    environments, unpicklable platforms).
+``thread``
+    :class:`concurrent.futures.ThreadPoolExecutor`; useful as a fallback
+    and for testing the concurrent plumbing without processes.
+``auto``
+    ``process`` when ``n_workers > 1`` and the machine has more than one
+    CPU core, else ``serial``.
+
+Determinism contract: with ``n_starts=1`` the engine is a pass-through to
+:func:`repro.partitioner.partition_hypergraph` — bit-identical results.
+For ``n_starts > 1`` the per-start seeds and the winner are deterministic
+functions of the engine seed regardless of backend; ``early_stop_cut``
+trades that determinism (the set of completed starts becomes timing-
+dependent under parallel backends) for time.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import Timer, as_rng
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.partitioner.config import PartitionerConfig
+from repro.partitioner.driver import PartitionResult, partition_hypergraph
+from repro.telemetry import get_recorder
+
+__all__ = ["StartStat", "partition_multistart"]
+
+
+@dataclass(frozen=True)
+class StartStat:
+    """Outcome of one engine start."""
+
+    #: start index in [0, n_starts)
+    start: int
+    #: derived integer seed the start ran with; ``-1`` for start 0, which
+    #: replays the engine seed's own RNG stream (see
+    #: :func:`partition_multistart`)
+    seed: int
+    #: connectivity-minus-one cutsize the start achieved
+    cutsize: int
+    #: achieved imbalance ratio
+    imbalance: float
+    #: wall-clock seconds of the start
+    runtime: float
+
+
+def _run_start(
+    h: Hypergraph, k: int, cfg: PartitionerConfig, seed: int
+) -> PartitionResult:
+    """Worker body: one single-start pipeline (top-level for pickling)."""
+    return partition_hypergraph(h, k, cfg, seed)
+
+
+def _resolve_backend(cfg: PartitionerConfig) -> str:
+    if cfg.n_workers <= 1 or cfg.n_starts <= 1:
+        return "serial"
+    if cfg.start_backend != "auto":
+        return cfg.start_backend
+    return "process" if (os.cpu_count() or 1) > 1 else "serial"
+
+
+def _hits_target(res: PartitionResult, cfg: PartitionerConfig) -> bool:
+    return (
+        cfg.early_stop_cut is not None
+        and res.cutsize <= cfg.early_stop_cut
+        and res.imbalance <= cfg.epsilon
+    )
+
+
+def partition_multistart(
+    h: Hypergraph,
+    k: int,
+    config: PartitionerConfig | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> PartitionResult:
+    """Best-of-``config.n_starts`` partition of *h* into *k* parts.
+
+    With the default ``n_starts=1`` this is exactly
+    :func:`partition_hypergraph` (same RNG consumption, bit-identical
+    partition).  For ``n_starts > 1``, start 0 replays the engine seed's
+    own RNG stream — it reproduces the single-start run bit for bit, so
+    the best-of-N result is **never worse** than the single-start result
+    at the same seed — while the remaining starts run with integer seeds
+    drawn from the engine RNG.  The starts run on the configured backend
+    and the best result by (balance excess, cutsize, start index) is
+    returned with ``start_stats`` describing every completed start.  The
+    result's ``runtime`` is the engine's total wall-clock time; per-start
+    times are in the stats.
+
+    >>> from repro.hypergraph import hypergraph_from_netlists
+    >>> h = hypergraph_from_netlists(4, [[0, 1], [2, 3], [1, 2]])
+    >>> cfg = PartitionerConfig(n_starts=3)
+    >>> res = partition_multistart(h, 2, cfg, seed=0)
+    >>> res.cutsize, len(res.start_stats)
+    (1, 3)
+    """
+    cfg = config or PartitionerConfig()
+    if cfg.n_starts == 1:
+        return partition_hypergraph(h, k, cfg, seed)
+
+    rng = as_rng(seed)
+    # start 0 replays the pristine engine RNG (the legacy single-start
+    # stream); later starts get independent integer seeds drawn after the
+    # copy, so no start's consumption perturbs another's
+    seeds: list[int | np.random.Generator] = [copy.deepcopy(rng)]
+    seeds += [int(s) for s in rng.integers(0, 2**31 - 1, size=cfg.n_starts - 1)]
+    single = cfg.with_(n_starts=1, n_workers=1, early_stop_cut=None)
+    backend = _resolve_backend(cfg)
+
+    rec = get_recorder()
+    with rec.span(
+        "engine", n_starts=cfg.n_starts, backend=backend, k=k
+    ) as esp, Timer() as timer:
+        if backend == "serial":
+            completed = _run_serial(h, k, single, seeds, cfg)
+        else:
+            completed = _run_parallel(h, k, single, seeds, cfg, backend)
+
+        # deterministic winner: scan in start order, strict improvement only
+        best_i, best_res = -1, None
+        best_key: tuple[float, int] | None = None
+        for i, res in sorted(completed.items()):
+            key = (max(0.0, res.imbalance - cfg.epsilon), res.cutsize)
+            if best_key is None or key < best_key:
+                best_i, best_res, best_key = i, res, key
+        assert best_res is not None
+
+        stats = [
+            StartStat(
+                start=i,
+                seed=seeds[i] if isinstance(seeds[i], int) else -1,
+                cutsize=res.cutsize,
+                imbalance=res.imbalance,
+                runtime=res.runtime,
+            )
+            for i, res in sorted(completed.items())
+        ]
+        if rec.enabled:
+            rec.add("engine.starts", len(completed))
+            rec.add("engine.best_cut", best_res.cutsize)
+            rec.add(
+                "engine.cut_spread",
+                max(s.cutsize for s in stats) - min(s.cutsize for s in stats),
+            )
+        esp.set(best_start=best_i, cutsize=best_res.cutsize)
+
+    best_res.start_stats = stats
+    best_res.runtime = timer.elapsed
+    return best_res
+
+
+def _run_serial(
+    h: Hypergraph,
+    k: int,
+    single: PartitionerConfig,
+    seeds: list[int],
+    cfg: PartitionerConfig,
+) -> dict[int, PartitionResult]:
+    rec = get_recorder()
+    completed: dict[int, PartitionResult] = {}
+    for i, s in enumerate(seeds):
+        with rec.span(
+            "engine.start", start=i, seed=s if isinstance(s, int) else -1
+        ) as sp:
+            res = partition_hypergraph(h, k, single, s)
+            sp.set(cutsize=res.cutsize)
+        completed[i] = res
+        if _hits_target(res, cfg):
+            rec.add("engine.early_stops")
+            break
+    return completed
+
+
+def _run_parallel(
+    h: Hypergraph,
+    k: int,
+    single: PartitionerConfig,
+    seeds: list[int],
+    cfg: PartitionerConfig,
+    backend: str,
+) -> dict[int, PartitionResult]:
+    """Fan the starts out over an executor; falls back serial on failure.
+
+    Per-start telemetry spans are lost under the process backend (workers
+    have their own recorders); the per-start runtimes survive in the
+    returned results.
+    """
+    pool = ProcessPoolExecutor if backend == "process" else ThreadPoolExecutor
+    rec = get_recorder()
+    try:
+        with pool(max_workers=min(cfg.n_workers, len(seeds))) as ex:
+            futures = {
+                ex.submit(_run_start, h, k, single, s): i
+                for i, s in enumerate(seeds)
+            }
+            completed: dict[int, PartitionResult] = {}
+            pending = set(futures)
+            stop = False
+            while pending and not stop:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for f in done:
+                    res = f.result()
+                    completed[futures[f]] = res
+                    if _hits_target(res, cfg):
+                        stop = True
+                if stop:
+                    for f in pending:
+                        f.cancel()
+                    rec.add("engine.early_stops")
+            return completed
+    except (OSError, RuntimeError, ImportError) as exc:
+        # restricted environments can refuse process pools (no fork/sem);
+        # degrade gracefully rather than fail the partitioning call
+        rec.add("engine.backend_fallbacks")
+        if backend == "process":
+            try:
+                return _run_parallel(h, k, single, seeds, cfg, "thread")
+            except (OSError, RuntimeError, ImportError):
+                pass
+        del exc
+        return _run_serial(h, k, single, seeds, cfg)

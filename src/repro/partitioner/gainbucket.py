@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Callable
 
+import numpy as np
+
 __all__ = ["GainBucket"]
 
 
@@ -84,6 +86,80 @@ class GainBucket:
         self.remove(v)
         self.insert(v, g)
 
+    def move_to(self, v: int, g: int) -> None:
+        """Relink stored vertex *v* into the bucket for gain *g*.
+
+        Equivalent to ``remove(v)`` + ``insert(v, g)`` (new head of the
+        target bucket) with the call overhead and revalidation stripped —
+        this is the single hottest operation of an FM pass.  *v* must be
+        stored and *g* in range; the refinement loop guarantees both.
+        """
+        nxt, prv, heads = self.nxt, self.prv, self.heads
+        nx, pv = nxt[v], prv[v]
+        if pv != -1:
+            nxt[pv] = nx
+        else:
+            heads[self.gain[v] + self.offset] = nx
+        if nx != -1:
+            prv[nx] = pv
+        b = g + self.offset
+        head = heads[b]
+        nxt[v] = head
+        prv[v] = -1
+        if head != -1:
+            prv[head] = v
+        heads[b] = v
+        self.gain[v] = g
+        if b > self.maxptr:
+            self.maxptr = b
+
+    def bulk_insert(self, vs: np.ndarray, gains: np.ndarray) -> None:
+        """Insert vertices *vs* (insertion order) with their *gains* at once.
+
+        Produces the exact linked-list state the equivalent sequence of
+        :meth:`insert` calls would: within each bucket, later-inserted
+        vertices sit closer to the head (LIFO).  None of *vs* may already
+        be stored.
+        """
+        m = len(vs)
+        if m == 0:
+            return
+        b = np.asarray(gains, dtype=np.int64) + self.offset
+        if int(b.min()) < 0 or int(b.max()) >= len(self.heads):
+            raise ValueError(f"gain outside bucket range ±{self.offset}")
+        # bucket-major, reverse insertion order within a bucket: walking the
+        # sorted sequence then links head -> tail of every bucket chain
+        ordr = np.lexsort((-np.arange(m), b))
+        sv = np.asarray(vs)[ordr].tolist()
+        sb = b[ordr].tolist()
+        heads, nxt, prv = self.heads, self.nxt, self.prv
+        gain, inside = self.gain, self.inside
+        off = self.offset
+        prev_b = -1
+        prev_v = -1
+        for i in range(m):
+            v = sv[i]
+            if inside[v]:
+                raise ValueError(f"vertex {v} already in bucket")
+            bb = sb[i]
+            if bb != prev_b:
+                if prev_v != -1:
+                    nxt[prev_v] = -1
+                heads[bb] = v
+                prv[v] = -1
+            else:
+                nxt[prev_v] = v
+                prv[v] = prev_v
+            gain[v] = bb - off
+            inside[v] = True
+            prev_b = bb
+            prev_v = v
+        nxt[prev_v] = -1
+        self.count += m
+        mb = int(b.max())
+        if mb > self.maxptr:
+            self.maxptr = mb
+
     def __len__(self) -> int:
         return self.count
 
@@ -117,6 +193,25 @@ class GainBucket:
             v = heads[b]
             while v != -1:
                 if feasible is None or feasible(v):
+                    return v
+                v = nxt[v]
+        return None
+
+    def best_capped(self, w: list[int], cap: int) -> int | None:
+        """:meth:`best` specialized to the feasibility test ``w[v] <= cap``.
+
+        Same walk and same result as ``best(lambda v: w[v] <= cap)`` but
+        without a Python call per candidate — the dominant selection path
+        when neither side is overweight.
+        """
+        if self.count == 0:
+            return None
+        self._settle_maxptr()
+        heads, nxt = self.heads, self.nxt
+        for b in range(self.maxptr, -1, -1):
+            v = heads[b]
+            while v != -1:
+                if w[v] <= cap:
                     return v
                 v = nxt[v]
         return None

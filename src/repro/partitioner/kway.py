@@ -49,7 +49,7 @@ def kway_refine(
     if nv == 0 or nn == 0 or k <= 1:
         return part
 
-    net_of_pin = np.repeat(np.arange(nn, dtype=INDEX_DTYPE), np.diff(h.xpins))
+    net_of_pin = h.net_of_pin()
     counts = np.zeros((nn, k), dtype=np.int32)
     np.add.at(counts, (net_of_pin, part[h.pins]), 1)
 
@@ -57,10 +57,10 @@ def kway_refine(
     W = np.bincount(part, weights=w, minlength=k).astype(np.int64)
     maxw = int((w.sum() / k) * (1.0 + cfg.epsilon))
 
-    xnets = h.xnets.tolist()
-    vnets = h.vnets.tolist()
-    cost = h.net_costs.tolist()
-    wl = w.tolist()
+    xnets = h.xnets_list()
+    vnets = h.vnets_list()
+    cost = h.costs_list()
+    wl = h.weights_list()
     part_l = part.tolist()
     counts_l = counts  # keep numpy: row slicing is the common op here
     free = np.ones(nv, dtype=bool)

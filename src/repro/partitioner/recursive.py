@@ -56,7 +56,7 @@ def extract_side(
     old2new = np.full(h.num_vertices, -1, dtype=INDEX_DTYPE)
     old2new[vertex_ids] = np.arange(len(vertex_ids), dtype=INDEX_DTYPE)
 
-    net_of_pin = np.repeat(np.arange(h.num_nets, dtype=INDEX_DTYPE), np.diff(h.xpins))
+    net_of_pin = h.net_of_pin()
     pin_on_side = vmask[h.pins]
     kept_nets_of_pin = net_of_pin[pin_on_side]
     kept_pins = old2new[h.pins[pin_on_side]]

@@ -44,22 +44,20 @@ class FMCore:
         self.h = h
         self.nv = h.num_vertices
         self.nn = h.num_nets
-        # list views for the inner loops
-        self.xpins = h.xpins.tolist()
-        self.pins = h.pins.tolist()
-        self.xnets = h.xnets.tolist()
-        self.vnets = h.vnets.tolist()
-        self.w = h.vertex_weights.tolist()
-        self.cost = h.net_costs.tolist()
+        # shared read-only list views for the inner loops (cached on h)
+        self.xpins = h.xpins_list()
+        self.pins = h.pins_list()
+        self.xnets = h.xnets_list()
+        self.vnets = h.vnets_list()
+        self.w = h.weights_list()
+        self.cost = h.costs_list()
         self.part: list[int] = np.asarray(part, dtype=INDEX_DTYPE).tolist()
         self.free = [True] * self.nv
         if fixed is not None:
             for v in np.flatnonzero(fixed >= 0):
                 self.free[int(v)] = False
         # pin counts per side
-        self._net_of_pin = np.repeat(
-            np.arange(self.nn, dtype=INDEX_DTYPE), np.diff(h.xpins)
-        )
+        self._net_of_pin = h.net_of_pin()
         self.recount()
         self.gain: list[int] = [0] * self.nv
         self.locked: list[bool] = [False] * self.nv
@@ -114,22 +112,19 @@ class FMCore:
 
     def max_gain_bound(self) -> int:
         """Upper bound on |gain|: the max total incident net cost."""
-        if self.h.num_pins == 0:
-            return 1
-        tot = np.zeros(self.nv, dtype=np.int64)
-        np.add.at(tot, self.h.pins, self.h.net_costs[self._net_of_pin])
-        return max(int(tot.max()), 1)
+        return self.h.max_incident_cost()
 
     # -- the move --------------------------------------------------------
     def _bump(self, u: int, delta: int) -> None:
         """Apply a gain delta to vertex *u*, keeping buckets in sync."""
-        self.gain[u] += delta
+        g = self.gain[u] + delta
+        self.gain[u] = g
         if self.buckets is not None:
             b = self.buckets[self.part[u]]
-            if b.contains(u):
-                b.adjust(u, delta)
+            if b.inside[u]:
+                b.move_to(u, g)
             elif self.insert_on_touch and not self.locked[u] and self.free[u]:
-                b.insert(u, self.gain[u])
+                b.insert(u, g)
 
     def apply_move(self, v: int, update_gains: bool = True) -> None:
         """Move vertex *v* to the opposite side, updating pin counts,
@@ -141,8 +136,8 @@ class FMCore:
         pct = self.pc[to]
         xpins, pins, cost = self.xpins, self.pins, self.cost
         part, locked, free = self.part, self.locked, self.free
-        for t in range(self.xnets[v], self.xnets[v + 1]):
-            n = self.vnets[t]
+        bump = self._bump
+        for n in self.vnets[self.xnets[v] : self.xnets[v + 1]]:
             c = cost[n]
             T = pct[n]
             F = pcf[n]
@@ -151,32 +146,28 @@ class FMCore:
                 if T == 0:
                     # net leaves the "entirely in frm" state: every other
                     # pin can now cut it one unit less by following v
-                    for j in range(lo, hi):
-                        u = pins[j]
+                    for u in pins[lo:hi]:
                         if u != v and not locked[u] and free[u]:
-                            self._bump(u, c)
+                            bump(u, c)
                 elif T == 1:
                     # the lone to-side pin loses its uncut-by-moving gain
-                    for j in range(lo, hi):
-                        u = pins[j]
+                    for u in pins[lo:hi]:
                         if part[u] == to:
                             if not locked[u] and free[u]:
-                                self._bump(u, -c)
+                                bump(u, -c)
                             break
                 if F == 1:
                     # net becomes entirely in 'to': every pin loses the
                     # incentive (it can no longer uncut the net)
-                    for j in range(lo, hi):
-                        u = pins[j]
+                    for u in pins[lo:hi]:
                         if u != v and not locked[u] and free[u]:
-                            self._bump(u, -c)
+                            bump(u, -c)
                 elif F == 2:
                     # exactly one frm-side pin remains: it gains
-                    for j in range(lo, hi):
-                        u = pins[j]
+                    for u in pins[lo:hi]:
                         if u != v and part[u] == frm:
                             if not locked[u] and free[u]:
-                                self._bump(u, c)
+                                bump(u, c)
                             break
             pcf[n] = F - 1
             pct[n] = T + 1
@@ -193,8 +184,7 @@ class FMCore:
         to = 1 - frm
         pcf = self.pc[frm]
         pct = self.pc[to]
-        for t in range(self.xnets[v], self.xnets[v + 1]):
-            n = self.vnets[t]
+        for n in self.vnets[self.xnets[v] : self.xnets[v + 1]]:
             pcf[n] -= 1
             pct[n] += 1
         self.part[v] = to
@@ -257,7 +247,7 @@ def _fm_pass(
         cand = core.boundary_vertices()
     else:
         cand = np.arange(nv)
-    cand = cand[[core.free[int(v)] for v in cand]]
+    cand = cand[np.asarray(core.free, dtype=bool)[cand]]
     if len(cand) == 0:
         return 0, False
 
@@ -266,12 +256,13 @@ def _fm_pass(
     b1 = GainBucket(nv, bound)
     core.buckets = (b0, b1)
     core.insert_on_touch = boundary_mode
-    order = rng.permutation(len(cand))
-    gain_l = core.gain
-    part = core.part
-    for i in order:
-        v = int(cand[i])
-        (b0 if part[v] == 0 else b1).insert(v, gain_l[v])
+    # seed both buckets in permutation order; the buckets are independent,
+    # so splitting by side preserves each one's insertion sequence exactly
+    seq = cand[rng.permutation(len(cand))]
+    side = np.asarray(core.part, dtype=np.int64)[seq]
+    gain_np = np.asarray(core.gain, dtype=np.int64)
+    b0.bulk_insert(seq[side == 0], gain_np[seq[side == 0]])
+    b1.bulk_insert(seq[side == 1], gain_np[seq[side == 1]])
 
     W = core.W
     w = core.w
@@ -309,8 +300,16 @@ def _fm_pass(
     # boundary mode can grow the candidate pool mid-pass, so cap at nv
     max_moves = nv
     for _ in range(max_moves):
-        v0 = b0.best(feasible_to(1))
-        v1 = b1.best(feasible_to(0))
+        # fast path: when the source side is not overweight the feasibility
+        # test collapses to a weight cap, which best_capped checks inline
+        if W[0] > maxw[0]:
+            v0 = b0.best(feasible_to(1))
+        else:
+            v0 = b0.best_capped(w, maxw[1] - W[1])
+        if W[1] > maxw[1]:
+            v1 = b1.best(feasible_to(0))
+        else:
+            v1 = b1.best_capped(w, maxw[0] - W[0])
         if v0 is None and v1 is None:
             break
         if v0 is None:
@@ -333,7 +332,9 @@ def _fm_pass(
         core.apply_move(v, update_gains=True)
         moves.append(v)
         cum += g
-        exc = _excess(W, maxw)
+        e0 = W[0] - maxw[0]
+        e1 = W[1] - maxw[1]
+        exc = (e0 if e0 > 0 else 0) + (e1 if e1 > 0 else 0)
         feas = exc == 0
         better = False
         if feas and not best_feasible:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro._util import INDEX_DTYPE, as_rng
+from repro._util import INDEX_DTYPE, as_rng, prefix_from_counts
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.partition import cutsize_connectivity
 from repro.partitioner.config import PartitionerConfig
@@ -36,17 +36,32 @@ __all__ = ["refine_partition", "pairwise_refine"]
 
 
 def _adjacent_pairs(h: Hypergraph, part: np.ndarray, k: int) -> list[tuple[int, int]]:
-    """Part pairs connected by at least one cut net, heaviest first."""
+    """Part pairs connected by at least one cut net, heaviest first.
+
+    One global ``np.unique`` over ``net * k + part`` replaces a per-net
+    unique: the sorted keys group by net (ascending) with distinct parts
+    ascending within each group — the exact net/pair encounter order of the
+    per-net loop, so dict insertion order and the stable heaviest-first
+    sort's tie-breaks are unchanged.
+    """
     weight: dict[tuple[int, int], int] = {}
-    for j in range(h.num_nets):
-        parts = np.unique(part[h.pins_of(j)])
-        if len(parts) < 2:
-            continue
-        c = int(h.net_costs[j])
-        for a in range(len(parts)):
-            for b in range(a + 1, len(parts)):
-                key = (int(parts[a]), int(parts[b]))
-                weight[key] = weight.get(key, 0) + c
+    if h.num_pins:
+        key = h.net_of_pin() * np.int64(k) + part[h.pins]
+        uniq = np.unique(key)
+        unet = uniq // k
+        counts = np.bincount(unet, minlength=h.num_nets)
+        starts = prefix_from_counts(counts).tolist()
+        upart = (uniq % k).tolist()
+        costs = h.net_costs
+        for j in np.flatnonzero(counts >= 2).tolist():
+            lo, hi = starts[j], starts[j + 1]
+            c = int(costs[j])
+            ps = upart[lo:hi]
+            for a in range(len(ps)):
+                pa = ps[a]
+                for b in range(a + 1, len(ps)):
+                    pair = (pa, ps[b])
+                    weight[pair] = weight.get(pair, 0) + c
     return [p for p, _ in sorted(weight.items(), key=lambda kv: -kv[1])]
 
 
