@@ -20,6 +20,10 @@ experiments
 multistart
     Benchmark the multi-start engine against the recorded pre-PR
     sequential baseline and write BENCH_multistart.json.
+treeparallel
+    Benchmark zero-copy shm transport vs pickle and the tree-parallel
+    recursion across backends/worker counts (verifying bit-identity);
+    write BENCH_treeparallel.json.
 
 Common options: ``--scale`` (matrix size factor, default 0.125 so a laptop
 finishes in minutes; 1.0 reproduces the original sizes), ``--ks``,
@@ -50,7 +54,7 @@ def _parse(argv):
         "command",
         choices=[
             "table1", "table2", "summary", "models2d", "experiments",
-            "multistart",
+            "multistart", "treeparallel",
         ],
     )
     p.add_argument("--output", default="EXPERIMENTS.md",
@@ -125,6 +129,25 @@ def main(argv=None) -> int:
         )
         path = args.output if args.output != "EXPERIMENTS.md" else "BENCH_multistart.json"
         write_multistart_bench(path, doc)
+        print(f"wrote {path}")
+        return 0
+
+    if args.command == "treeparallel":
+        from repro.bench.treeparallel import (
+            run_treeparallel_bench,
+            write_treeparallel_bench,
+        )
+
+        doc = run_treeparallel_bench(
+            n_starts=args.starts,
+            n_workers=args.workers,
+            progress=lambda s: print(f"  {s}", file=sys.stderr),
+        )
+        path = (
+            args.output if args.output != "EXPERIMENTS.md"
+            else "BENCH_treeparallel.json"
+        )
+        write_treeparallel_bench(path, doc)
         print(f"wrote {path}")
         return 0
 

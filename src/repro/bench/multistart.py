@@ -76,12 +76,18 @@ def run_multistart_bench(
 
     baseline = _load_baseline(baseline_path)
     hardware = _hardware()
+    # honesty: a process-backend timing taken with more workers than
+    # usable cores measures oversubscription (pool + transport overhead at
+    # zero parallel speedup), not scaling — say so machine-readably
+    # instead of letting the row pass as a parallel measurement
+    oversubscribed = hardware["usable_cores"] < n_workers
     out: dict = {
         "bench": "multistart-engine",
         "n_starts": n_starts,
         "n_workers": n_workers,
         "seed": seed,
         "hardware": hardware,
+        "oversubscribed": oversubscribed,
         "baseline_commit": baseline.get("commit"),
         "matrices": {},
     }
@@ -128,6 +134,8 @@ def run_multistart_bench(
             "engine_serial_cut": r_serial.cutsize,
             "engine_process_seconds": round(r_proc.runtime, 3),
             "engine_process_cut": r_proc.cutsize,
+            "process_workers_effective": min(n_workers, hardware["usable_cores"]),
+            "process_oversubscribed": oversubscribed,
             "start_stats": [asdict(s) for s in r_serial.start_stats],
             "process_start_stats": [asdict(s) for s in r_proc.start_stats],
         }
@@ -167,6 +175,15 @@ def run_multistart_bench(
     out["notes"] = [
         "speedup_* compare against the recorded pre-PR wall-clock of "
         f"{n_starts} sequential single starts (prepr_seconds_sequential).",
+        (
+            f"OVERSUBSCRIBED: only {hardware['usable_cores']} usable "
+            f"core(s) for {n_workers} workers — process-backend rows "
+            "measure transport + pool overhead, not parallel scaling; "
+            "disregard speedup_process_engine on this host."
+            if oversubscribed
+            else f"process-backend rows ran {n_workers} workers on "
+            f"{hardware['usable_cores']} usable cores."
+        ),
         "The serial-engine speedup is pure kernel vectorization; the "
         "process-engine speedup additionally scales with usable cores "
         f"(this host: {hardware['usable_cores']}).  On a host with "

@@ -99,7 +99,11 @@ def _parse(argv):
     pp.add_argument("--starts", type=int, default=1,
                     help="multi-start engine attempts (best cut wins)")
     pp.add_argument("--workers", type=int, default=1,
-                    help="parallel workers for the multi-start engine")
+                    help="worker budget shared by starts and subtree tasks")
+    pp.add_argument("--tree-parallel", action="store_true",
+                    help="seed-tree recursion: schedule the two sides of "
+                         "every bisection over the worker budget "
+                         "(bit-identical at any worker count)")
     pp.add_argument("--output", default=None,
                     help="write ownership arrays to this .npz file")
 
@@ -116,6 +120,7 @@ def _parse(argv):
     pa.add_argument("--seed", type=int, default=0)
     pa.add_argument("--starts", type=int, default=1)
     pa.add_argument("--workers", type=int, default=1)
+    pa.add_argument("--tree-parallel", action="store_true")
 
     pf = sub.add_parser(
         "profile", help="trace a decomposition + simulated SpMV end to end"
@@ -127,6 +132,7 @@ def _parse(argv):
     pf.add_argument("--seed", type=int, default=0)
     pf.add_argument("--starts", type=int, default=1)
     pf.add_argument("--workers", type=int, default=1)
+    pf.add_argument("--tree-parallel", action="store_true")
     pf.add_argument("--depth", type=int, default=4,
                     help="maximum span-tree depth to print")
     pf.add_argument("--trace", default=None,
@@ -140,10 +146,16 @@ def _parse(argv):
 
 def _config_from_args(args) -> PartitionerConfig:
     """Build the partitioner config from common CLI options."""
+    kwargs = {}
+    if getattr(args, "tree_parallel", False):
+        # only force the knob when the flag is given, so the
+        # REPRO_TREE_PARALLEL env default still applies otherwise
+        kwargs["tree_parallel"] = True
     return PartitionerConfig(
         epsilon=args.epsilon,
         n_starts=getattr(args, "starts", 1),
         n_workers=getattr(args, "workers", 1),
+        **kwargs,
     )
 
 

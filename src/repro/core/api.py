@@ -234,6 +234,7 @@ def decompose(
     n_starts: int | None = None,
     n_workers: int | None = None,
     early_stop_cut: int | None = None,
+    tree_parallel: bool | None = None,
     **method_kwargs,
 ) -> DecomposeResult:
     """Decompose sparse matrix *a* over *k* processors with any model.
@@ -250,10 +251,12 @@ def decompose(
     seed:
         ``int | numpy.random.Generator | None``, normalized via
         :func:`repro._util.as_rng`.
-    n_starts, n_workers, early_stop_cut:
-        Convenience overrides for the multi-start engine fields of
-        *config* (ignored by the ``"graph"`` method, whose partitioner
-        has no engine).
+    n_starts, n_workers, early_stop_cut, tree_parallel:
+        Convenience overrides for the execution-model fields of *config*
+        (ignored by the ``"graph"`` method, whose partitioner has no
+        engine).  ``n_workers`` is the one shared budget: starts and
+        tree-parallel subtrees together never occupy more workers than
+        this.
     method_kwargs:
         Extra per-method options (e.g. ``seed_1d=True`` for
         ``"finegrain"``).
@@ -275,6 +278,7 @@ def decompose(
             ("n_starts", n_starts),
             ("n_workers", n_workers),
             ("early_stop_cut", early_stop_cut),
+            ("tree_parallel", tree_parallel),
         )
         if value is not None
     }

@@ -27,11 +27,14 @@ paper's reduction-problem extension.
 from repro.partitioner.config import PartitionerConfig
 from repro.partitioner.driver import PartitionResult, partition_hypergraph
 from repro.partitioner.engine import StartStat, partition_multistart
+from repro.partitioner.pool import TreeScheduler, WorkerBudget
 
 __all__ = [
     "PartitionerConfig",
     "PartitionResult",
     "StartStat",
+    "TreeScheduler",
+    "WorkerBudget",
     "partition_hypergraph",
     "partition_multistart",
 ]

@@ -2,9 +2,31 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import os
+from dataclasses import dataclass, field, replace
 
 __all__ = ["PartitionerConfig"]
+
+
+def _env_bool(name: str, fallback: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return fallback
+    return raw.strip().lower() not in ("", "0", "false", "no", "off")
+
+
+def _env_int(name: str, fallback: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return fallback
+    try:
+        return int(raw)
+    except ValueError:
+        return fallback
+
+
+def _env_str(name: str, fallback: str) -> str:
+    return os.environ.get(name, fallback)
 
 
 @dataclass(frozen=True)
@@ -60,14 +82,47 @@ class PartitionerConfig:
     #: by (balance excess, cutsize, start index) wins.  ``1`` runs the
     #: legacy single-start pipeline unchanged (bit-identical results).
     n_starts: int = 1
-    #: worker processes/threads for the multi-start engine; ``1`` runs the
-    #: starts sequentially in-process
-    n_workers: int = 1
+    #: worker processes/threads shared by the multi-start engine and the
+    #: tree-parallel recursion (one budget: starts x subtrees never
+    #: oversubscribe it); ``1`` runs everything sequentially in-process.
+    #: Env-overridable default: ``REPRO_N_WORKERS``.
+    n_workers: int = field(default_factory=lambda: _env_int("REPRO_N_WORKERS", 1))
     #: backend for ``n_workers > 1``: "process"
     #: (:class:`concurrent.futures.ProcessPoolExecutor`), "thread",
     #: "serial", or "auto" (process when multiple CPU cores are available,
-    #: serial otherwise — pure-Python workloads gain nothing from threads)
-    start_backend: str = "auto"
+    #: serial otherwise — pure-Python workloads gain nothing from threads).
+    #: Env-overridable default: ``REPRO_START_BACKEND``.
+    start_backend: str = field(
+        default_factory=lambda: _env_str("REPRO_START_BACKEND", "auto")
+    )
+    #: schedule the two subproblems of every bisection as independent tasks
+    #: over the shared worker budget (see :mod:`repro.partitioner.pool`).
+    #: Seeds come from a deterministic per-node seed tree, so the result is
+    #: bit-identical to ``tree_parallel=True`` at any worker count and any
+    #: backend — but NOT to the legacy sequential-stream recursion
+    #: (``tree_parallel=False``), which threads one RNG through the tree in
+    #: visit order.  Env-overridable default: ``REPRO_TREE_PARALLEL``.
+    tree_parallel: bool = field(
+        default_factory=lambda: _env_bool("REPRO_TREE_PARALLEL", False)
+    )
+    #: maximum recursion-tree depth at which subtree tasks may be handed to
+    #: the worker pool (the fan-out frontier: at most ``2**spawn_depth``
+    #: concurrent subtrees); deeper nodes always run inline.  Purely a
+    #: scheduling knob — never affects the partition.
+    spawn_depth: int = field(default_factory=lambda: _env_int("REPRO_SPAWN_DEPTH", 2))
+    #: a subtree is only worth shipping to a worker when its sub-hypergraph
+    #: has at least this many vertices (below it, task overhead dominates).
+    #: Purely a scheduling knob — never affects the partition.
+    spawn_min_vertices: int = field(
+        default_factory=lambda: _env_int("REPRO_SPAWN_MIN_VERTICES", 4096)
+    )
+    #: ship the hypergraph to process-backend engine workers through
+    #: :mod:`multiprocessing.shared_memory` (zero-copy: a segment name +
+    #: dtypes travel instead of a pickle of the CSR arrays); falls back to
+    #: pickle transport when shared memory is unavailable
+    shm_transport: bool = field(
+        default_factory=lambda: _env_bool("REPRO_SHM_TRANSPORT", True)
+    )
     #: stop launching further starts once one achieves a feasible partition
     #: with cutsize at or below this target (``None`` disables).  Trades
     #: the deterministic "all n_starts run" protocol for wall-clock time;
@@ -90,6 +145,10 @@ class PartitionerConfig:
             raise ValueError("n_starts and n_workers must be >= 1")
         if self.start_backend not in ("auto", "process", "thread", "serial"):
             raise ValueError(f"unknown start_backend {self.start_backend!r}")
+        if self.spawn_depth < 0:
+            raise ValueError("spawn_depth must be >= 0")
+        if self.spawn_min_vertices < 0:
+            raise ValueError("spawn_min_vertices must be >= 0")
         if self.early_stop_cut is not None and self.early_stop_cut < 0:
             raise ValueError("early_stop_cut must be non-negative")
 

@@ -17,6 +17,7 @@ from repro.hypergraph.partition import (
 )
 from repro.partitioner.config import PartitionerConfig
 from repro.partitioner.kway import kway_refine
+from repro.partitioner.pool import TreeScheduler, resolve_tree_backend
 from repro.partitioner.recursive import partition_recursive
 
 __all__ = ["PartitionResult", "partition_hypergraph"]
@@ -84,36 +85,53 @@ def partition_hypergraph(
     best_key: tuple[float, int] | None = None
     wavg = h.total_vertex_weight() / k
     rec = get_recorder()
-    with rec.span(
-        "partition",
-        k=k,
-        n_runs=cfg.n_runs,
-        vertices=h.num_vertices,
-        nets=h.num_nets,
-        pins=h.num_pins,
-    ) as psp:
-        for run in range(cfg.n_runs):
-            with rec.span("partition.run", run=run) as rsp, Timer() as t:
-                part, cuts = partition_recursive(h, k, cfg, rng, fixed)
-                if cfg.kway_refine and k > 1:
-                    part = kway_refine(h, part, k, cfg, rng, fixed)
-            validate_partition(h, part, k)
-            cut = cutsize_connectivity(h, part)
-            imb = imbalance(h, part, k)
-            rsp.set(cutsize=cut, imbalance=round(imb, 6))
-            excess = max(0.0, imb - cfg.epsilon)
-            key = (excess, cut)
-            if best_key is None or key < best_key:
-                best_key = key
-                best = PartitionResult(
-                    part=part,
-                    k=k,
-                    cutsize=cut,
-                    cutsize_cutnet=cutsize_cutnet(h, part),
-                    imbalance=imb,
-                    runtime=t.elapsed,
-                    bisection_cuts=cuts,
-                )
-        assert best is not None
-        psp.set(cutsize=best.cutsize, imbalance=round(best.imbalance, 6))
+    # one scheduler (and so one worker pool) serves every run of this call;
+    # it only ever affects wall clock — the seed tree pins the bits
+    scheduler = None
+    if (
+        cfg.tree_parallel
+        and k > 2
+        and cfg.n_workers > 1
+        and resolve_tree_backend(cfg) != "serial"
+    ):
+        scheduler = TreeScheduler(cfg)
+    try:
+        with rec.span(
+            "partition",
+            k=k,
+            n_runs=cfg.n_runs,
+            vertices=h.num_vertices,
+            nets=h.num_nets,
+            pins=h.num_pins,
+            tree_parallel=cfg.tree_parallel,
+        ) as psp:
+            for run in range(cfg.n_runs):
+                with rec.span("partition.run", run=run) as rsp, Timer() as t:
+                    part, cuts = partition_recursive(
+                        h, k, cfg, rng, fixed, scheduler=scheduler
+                    )
+                    if cfg.kway_refine and k > 1:
+                        part = kway_refine(h, part, k, cfg, rng, fixed)
+                validate_partition(h, part, k)
+                cut = cutsize_connectivity(h, part)
+                imb = imbalance(h, part, k)
+                rsp.set(cutsize=cut, imbalance=round(imb, 6))
+                excess = max(0.0, imb - cfg.epsilon)
+                key = (excess, cut)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = PartitionResult(
+                        part=part,
+                        k=k,
+                        cutsize=cut,
+                        cutsize_cutnet=cutsize_cutnet(h, part),
+                        imbalance=imb,
+                        runtime=t.elapsed,
+                        bisection_cuts=cuts,
+                    )
+            assert best is not None
+            psp.set(cutsize=best.cutsize, imbalance=round(best.imbalance, 6))
+    finally:
+        if scheduler is not None:
+            scheduler.shutdown()
     return best

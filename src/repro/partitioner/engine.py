@@ -14,9 +14,15 @@ Execution backends
 ``process``
     :class:`concurrent.futures.ProcessPoolExecutor` with ``n_workers``
     workers — the only backend that buys wall-clock time for this
-    pure-Python workload (threads serialize on the GIL).  Falls back to
-    threads, then serial, if process pools are unavailable (restricted
-    environments, unpicklable platforms).
+    pure-Python workload (threads serialize on the GIL).  The hypergraph
+    travels by zero-copy shared memory when ``cfg.shm_transport`` is on:
+    the segment is created once, each worker attaches once (pool
+    initializer), and tasks ship only integer seeds — no per-start pickle
+    of the pin arrays.  The segment is guaranteed to be unlinked when the
+    engine returns, raises, or falls back.  Falls back to pickle
+    transport, then threads, then serial, if shared memory or process
+    pools are unavailable (restricted environments, unpicklable
+    platforms).
 ``thread``
     :class:`concurrent.futures.ThreadPoolExecutor`; useful as a fallback
     and for testing the concurrent plumbing without processes.
@@ -75,12 +81,47 @@ def _run_start(
     return partition_hypergraph(h, k, cfg, seed)
 
 
+#: worker-process global: the hypergraph attached from shared memory by
+#: :func:`_attach_worker` (one attach per process, reused by every start
+#: that lands on the worker)
+_WORKER_HG: Hypergraph | None = None
+
+
+def _attach_worker(meta: dict) -> None:
+    """Process-pool initializer: map the shared hypergraph once."""
+    global _WORKER_HG
+    _WORKER_HG = Hypergraph.from_shm(meta)
+
+
+def _run_start_shm(k: int, cfg: PartitionerConfig, seed: int) -> PartitionResult:
+    """Worker body for shm transport: the task ships no hypergraph at all."""
+    assert _WORKER_HG is not None, "worker initializer did not run"
+    return partition_hypergraph(_WORKER_HG, k, cfg, seed)
+
+
 def _resolve_backend(cfg: PartitionerConfig) -> str:
     if cfg.n_workers <= 1 or cfg.n_starts <= 1:
         return "serial"
     if cfg.start_backend != "auto":
         return cfg.start_backend
     return "process" if (os.cpu_count() or 1) > 1 else "serial"
+
+
+def _tree_workers(cfg: PartitionerConfig, backend: str) -> int:
+    """Worker-budget share each start may spend on subtree fan-out.
+
+    One budget, ``cfg.n_workers`` slots: a serial-backend engine runs one
+    start at a time, so the whole budget goes to the recursion tree; a
+    parallel engine occupies ``min(n_workers, n_starts)`` slots with
+    starts and divides the rest, so starts × subtrees never exceed
+    ``n_workers`` concurrent workers.
+    """
+    if not cfg.tree_parallel:
+        return 1
+    if backend == "serial":
+        return cfg.n_workers
+    occupied = min(cfg.n_workers, cfg.n_starts)
+    return max(1, cfg.n_workers // occupied)
 
 
 def _hits_target(res: PartitionResult, cfg: PartitionerConfig) -> bool:
@@ -128,8 +169,10 @@ def partition_multistart(
     # copy, so no start's consumption perturbs another's
     seeds: list[int | np.random.Generator] = [copy.deepcopy(rng)]
     seeds += [int(s) for s in rng.integers(0, 2**31 - 1, size=cfg.n_starts - 1)]
-    single = cfg.with_(n_starts=1, n_workers=1, early_stop_cut=None)
     backend = _resolve_backend(cfg)
+    single = cfg.with_(
+        n_starts=1, n_workers=_tree_workers(cfg, backend), early_stop_cut=None
+    )
 
     rec = get_recorder()
     with rec.span(
@@ -205,41 +248,66 @@ def _run_parallel(
 ) -> dict[int, PartitionResult]:
     """Fan the starts out over an executor; falls back serial on failure.
 
+    The process backend ships the hypergraph once through shared memory
+    (``cfg.shm_transport``); the ``finally`` unlinks the segment on every
+    exit path — normal return, early stop, worker crash, backend fallback.
     Per-start telemetry spans are lost under the process backend (workers
     have their own recorders); the per-start runtimes survive in the
     returned results.
     """
-    pool = ProcessPoolExecutor if backend == "process" else ThreadPoolExecutor
     rec = get_recorder()
+    shared = None
+    if backend == "process" and cfg.shm_transport:
+        try:
+            shared = h.to_shm()
+        except Exception:
+            # no usable /dev/shm (or equivalent): pickle transport instead
+            rec.add("engine.shm_fallbacks")
+            shared = None
     try:
-        with pool(max_workers=min(cfg.n_workers, len(seeds))) as ex:
-            futures = {
-                ex.submit(_run_start, h, k, single, s): i
-                for i, s in enumerate(seeds)
-            }
-            completed: dict[int, PartitionResult] = {}
-            pending = set(futures)
-            stop = False
-            while pending and not stop:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for f in done:
-                    res = f.result()
-                    completed[futures[f]] = res
-                    if _hits_target(res, cfg):
-                        stop = True
-                if stop:
-                    for f in pending:
-                        f.cancel()
-                    rec.add("engine.early_stops")
-            return completed
-    except (OSError, RuntimeError, ImportError) as exc:
-        # restricted environments can refuse process pools (no fork/sem);
-        # degrade gracefully rather than fail the partitioning call
-        rec.add("engine.backend_fallbacks")
-        if backend == "process":
-            try:
-                return _run_parallel(h, k, single, seeds, cfg, "thread")
-            except (OSError, RuntimeError, ImportError):
-                pass
-        del exc
-        return _run_serial(h, k, single, seeds, cfg)
+        pool_kwargs = {"max_workers": min(cfg.n_workers, len(seeds))}
+        if shared is not None:
+            pool_kwargs.update(
+                initializer=_attach_worker, initargs=(shared.meta,)
+            )
+            rec.add("engine.shm_bytes", shared.nbytes)
+        pool = ProcessPoolExecutor if backend == "process" else ThreadPoolExecutor
+        try:
+            with pool(**pool_kwargs) as ex:
+                futures = {
+                    (
+                        ex.submit(_run_start_shm, k, single, s)
+                        if shared is not None
+                        else ex.submit(_run_start, h, k, single, s)
+                    ): i
+                    for i, s in enumerate(seeds)
+                }
+                completed: dict[int, PartitionResult] = {}
+                pending = set(futures)
+                stop = False
+                while pending and not stop:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for f in done:
+                        res = f.result()
+                        completed[futures[f]] = res
+                        if _hits_target(res, cfg):
+                            stop = True
+                    if stop:
+                        for f in pending:
+                            f.cancel()
+                        rec.add("engine.early_stops")
+                return completed
+        except (OSError, RuntimeError, ImportError) as exc:
+            # restricted environments can refuse process pools (no fork/sem);
+            # degrade gracefully rather than fail the partitioning call
+            rec.add("engine.backend_fallbacks")
+            if backend == "process":
+                try:
+                    return _run_parallel(h, k, single, seeds, cfg, "thread")
+                except (OSError, RuntimeError, ImportError):
+                    pass
+            del exc
+            return _run_serial(h, k, single, seeds, cfg)
+    finally:
+        if shared is not None:
+            shared.close()

@@ -10,6 +10,21 @@ the paper's exact communication-volume objective.
 
 Arbitrary K is supported (not only powers of two) by splitting K into
 ``ceil(K/2)`` and ``floor(K/2)`` with proportional target weights.
+
+Execution models
+----------------
+*Legacy sequential* (``cfg.tree_parallel=False``, the default): one RNG
+stream threads through the tree in depth-first visit order — kept
+bit-compatible with the original implementation (golden-partition suite).
+
+*Seed-tree* (``cfg.tree_parallel=True``): each recursion node draws its
+randomness from ``SeedSequence(root_entropy, spawn_key=tree_path)`` where
+``tree_path`` is the 0/1 left/right path from the root.  Child seeds are a
+function of the parent seed and the path — never of call order — so the
+two subproblems a bisection produces are schedulable tasks: a
+:class:`~repro.partitioner.pool.TreeScheduler` may run either side on a
+worker while the caller walks the other, and the result is **bit-identical**
+to running the whole tree serially, at any worker count, on any backend.
 """
 
 from __future__ import annotations
@@ -25,6 +40,10 @@ from repro.partitioner.config import PartitionerConfig
 from repro.telemetry import get_recorder
 
 __all__ = ["partition_recursive", "extract_side", "bisection_epsilon"]
+
+#: entropy range for the seed-tree root (any node RNG derives from this one
+#: integer plus its tree path)
+_ENTROPY_BOUND = 2**63 - 1
 
 
 def bisection_epsilon(epsilon: float, k: int) -> float:
@@ -81,6 +100,25 @@ def extract_side(
     return sub, vertex_ids, sub_fixed
 
 
+def _split_targets(h: Hypergraph, k: int) -> tuple[int, int, int, int]:
+    """``(k1, k2, t0, t1)``: side part counts and target weights."""
+    k1 = (k + 1) // 2  # parts [0, k1) go to side 0
+    k2 = k - k1
+    total = h.total_vertex_weight()
+    t0 = int(round(total * k1 / k))
+    t1 = total - t0
+    return k1, k2, t0, t1
+
+
+def _side_fixed(
+    fixed: np.ndarray | None, vertex_ids: np.ndarray, offset: int
+) -> np.ndarray | None:
+    if fixed is None:
+        return None
+    f = fixed[vertex_ids]
+    return np.where(f >= 0, f - offset, -1).astype(INDEX_DTYPE)
+
+
 def partition_recursive(
     h: Hypergraph,
     k: int,
@@ -88,13 +126,20 @@ def partition_recursive(
     rng: np.random.Generator | int | None = None,
     fixed: np.ndarray | None = None,
     _eps_b: float | None = None,
+    scheduler=None,
 ) -> tuple[np.ndarray, list[int]]:
     """Partition *h* into *k* parts; returns ``(part, bisection_cuts)``.
 
     ``fixed`` pins vertices to final part ids in ``[0, k)``.
     ``bisection_cuts`` lists the cut of every bisection performed; their sum
     equals the connectivity-minus-one cutsize of the returned partition
-    (property 4 of DESIGN.md, asserted by the test suite).
+    (property 4 of DESIGN.md, asserted by the test suite).  The cuts are
+    listed in depth-first (root, left subtree, right subtree) order in both
+    execution models.
+
+    ``scheduler`` (a :class:`~repro.partitioner.pool.TreeScheduler`) only
+    matters with ``cfg.tree_parallel=True``; it may run subtrees on workers
+    without changing a single bit of the output.
     """
     rng = as_rng(rng)
     if k < 1:
@@ -103,11 +148,26 @@ def partition_recursive(
         return np.zeros(h.num_vertices, dtype=INDEX_DTYPE), []
     eps_b = bisection_epsilon(cfg.epsilon, k) if _eps_b is None else _eps_b
 
-    k1 = (k + 1) // 2  # parts [0, k1) go to side 0
-    k2 = k - k1
-    total = h.total_vertex_weight()
-    t0 = int(round(total * k1 / k))
-    t1 = total - t0
+    if cfg.tree_parallel:
+        # one draw fixes the whole seed tree; everything below is a pure
+        # function of (entropy, tree path) — execution order is irrelevant
+        entropy = int(rng.integers(0, _ENTROPY_BOUND))
+        return _solve_node(h, k, cfg, entropy, (), fixed, eps_b, scheduler)
+    return _solve_sequential(h, k, cfg, rng, fixed, eps_b)
+
+
+def _solve_sequential(
+    h: Hypergraph,
+    k: int,
+    cfg: PartitionerConfig,
+    rng: np.random.Generator,
+    fixed: np.ndarray | None,
+    eps_b: float,
+) -> tuple[np.ndarray, list[int]]:
+    """Legacy model: one RNG stream, depth-first order (bit-pinned)."""
+    if k == 1:
+        return np.zeros(h.num_vertices, dtype=INDEX_DTYPE), []
+    k1, k2, t0, t1 = _split_targets(h, k)
 
     fixed01 = None
     if fixed is not None:
@@ -122,13 +182,111 @@ def partition_recursive(
         part = np.zeros(h.num_vertices, dtype=INDEX_DTYPE)
         for side, k_side, offset in ((0, k1, 0), (1, k2, k1)):
             sub, vertex_ids, _ = extract_side(h, part01, side)
-            sub_fixed = None
-            if fixed is not None:
-                f = fixed[vertex_ids]
-                sub_fixed = np.where(f >= 0, f - offset, -1).astype(INDEX_DTYPE)
-            sub_part, sub_cuts = partition_recursive(
-                sub, k_side, cfg, rng, sub_fixed, _eps_b=eps_b
+            sub_fixed = _side_fixed(fixed, vertex_ids, offset)
+            sub_part, sub_cuts = _solve_sequential(
+                sub, k_side, cfg, rng, sub_fixed, eps_b
             )
             part[vertex_ids] = offset + sub_part
             cuts.extend(sub_cuts)
+    return part, cuts
+
+
+def _node_rng(entropy: int, path: tuple[int, ...]) -> np.random.Generator:
+    """The per-node generator of the seed tree (pure function of the path)."""
+    return np.random.default_rng(np.random.SeedSequence(entropy, spawn_key=path))
+
+
+def _path_label(path: tuple[int, ...]) -> str:
+    """Human-readable tree path for telemetry: root ``r``, children ``r0``…"""
+    return "r" + "".join(str(b) for b in path)
+
+
+def _solve_subtree(
+    h: Hypergraph,
+    k: int,
+    cfg: PartitionerConfig,
+    entropy: int,
+    path: tuple[int, ...],
+    fixed: np.ndarray | None,
+    eps_b: float,
+) -> tuple[np.ndarray, list[int]]:
+    """Worker task body: solve one subtree inline (top-level for pickling)."""
+    return _solve_node(h, k, cfg, entropy, path, fixed, eps_b, None)
+
+
+def _solve_node(
+    h: Hypergraph,
+    k: int,
+    cfg: PartitionerConfig,
+    entropy: int,
+    path: tuple[int, ...],
+    fixed: np.ndarray | None,
+    eps_b: float,
+    sched,
+) -> tuple[np.ndarray, list[int]]:
+    """Seed-tree model: solve the recursion node at *path*."""
+    if k == 1:
+        return np.zeros(h.num_vertices, dtype=INDEX_DTYPE), []
+    k1, k2, t0, t1 = _split_targets(h, k)
+
+    fixed01 = None
+    if fixed is not None:
+        fixed01 = np.where(fixed >= 0, (fixed >= k1).astype(INDEX_DTYPE), -1)
+
+    rec = get_recorder()
+    with rec.span(
+        "bisection",
+        k=k,
+        vertices=h.num_vertices,
+        nets=h.num_nets,
+        path=_path_label(path),
+        depth=len(path),
+    ) as sp:
+        part01, cut = multilevel_bisect(
+            h, (t0, t1), eps_b, cfg, _node_rng(entropy, path), fixed01
+        )
+        sp.set(cut=cut)
+
+        sides = []
+        for side, k_side, offset in ((0, k1, 0), (1, k2, k1)):
+            sub, vertex_ids, _ = extract_side(h, part01, side)
+            sides.append((k_side, offset, sub, vertex_ids,
+                          _side_fixed(fixed, vertex_ids, offset)))
+
+        # fork-one/walk-one: offer the right subtree to the pool, walk the
+        # left one on this thread, then collect.  Declined offers (no slot,
+        # too small, too deep) run inline — the bits cannot tell.
+        k_r, off_r, sub_r, vids_r, fix_r = sides[1]
+        fut = None
+        if sched is not None and k_r > 1:
+            fut = sched.offer(
+                len(path), sub_r.num_vertices, _solve_subtree,
+                sub_r, k_r, cfg, entropy, path + (1,), fix_r, eps_b,
+            )
+
+        k_l, off_l, sub_l, vids_l, fix_l = sides[0]
+        part_l, cuts_l = _solve_node(
+            sub_l, k_l, cfg, entropy, path + (0,), fix_l, eps_b, sched
+        )
+
+        if fut is not None:
+            try:
+                part_r, cuts_r = fut.result()
+            except Exception:
+                # a dead worker (broken pool, crashed task) costs wall
+                # clock, never correctness: recompute the subtree inline
+                rec.add("tree.task_failures")
+                part_r, cuts_r = _solve_node(
+                    sub_r, k_r, cfg, entropy, path + (1,), fix_r, eps_b, None
+                )
+        else:
+            part_r, cuts_r = _solve_node(
+                sub_r, k_r, cfg, entropy, path + (1,), fix_r, eps_b, sched
+            )
+
+        part = np.zeros(h.num_vertices, dtype=INDEX_DTYPE)
+        part[vids_l] = off_l + part_l
+        part[vids_r] = off_r + part_r
+        # depth-first cut order, independent of completion order
+        cuts = [cut] + cuts_l + cuts_r
     return part, cuts

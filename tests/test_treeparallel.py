@@ -1,0 +1,377 @@
+"""Tree-parallel recursion, shared worker budget, and shm transport.
+
+The two contracts under test:
+
+1. **Seed-tree determinism** — ``tree_parallel=True`` produces the
+   bit-identical partition at any worker count, on any backend, because
+   every recursion node's randomness is a pure function of
+   ``(root entropy, tree path)`` and never of call order or scheduling.
+2. **shm lifecycle** — the engine's process backend ships the hypergraph
+   through one shared-memory segment that is guaranteed to be unlinked on
+   every exit path, including a crashing start.
+"""
+
+from __future__ import annotations
+
+import glob
+import hashlib
+import json
+import os
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from tests.conftest import random_hypergraph
+from repro._util import as_rng
+from repro.core.api import decompose
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.shm import SharedHypergraph
+from repro.partitioner import (
+    PartitionerConfig,
+    TreeScheduler,
+    WorkerBudget,
+    partition_hypergraph,
+    partition_multistart,
+)
+from repro.partitioner.engine import _tree_workers
+from repro.partitioner.recursive import partition_recursive
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "golden_parts.json")
+
+with open(GOLDEN_PATH) as f:
+    GOLDEN = json.load(f)
+
+
+def _sig(part: np.ndarray) -> str:
+    return hashlib.sha256(np.asarray(part, dtype=np.int64).tobytes()).hexdigest()
+
+
+def _tree_cfg(workers: int, backend: str, **kw) -> PartitionerConfig:
+    # spawn_min_vertices=1 so even tiny test hypergraphs actually ship
+    # subtrees to workers instead of short-circuiting inline
+    return PartitionerConfig(
+        tree_parallel=True,
+        n_workers=workers,
+        start_backend=backend,
+        spawn_min_vertices=1,
+        **kw,
+    )
+
+
+# ----------------------------------------------------------------------
+# seed-tree determinism: bit-identical at any worker count / backend
+# ----------------------------------------------------------------------
+SCHEDULES = [(1, "serial"), (2, "thread"), (4, "thread"), (2, "process"), (4, "process")]
+
+
+@pytest.fixture(scope="module")
+def matrix() -> sp.csr_matrix:
+    rng = np.random.default_rng(11)
+    a = sp.random(50, 50, density=0.12, random_state=rng, format="lil")
+    a.setdiag(rng.uniform(0.5, 1.0, 50))
+    return sp.csr_matrix(a)
+
+
+@pytest.mark.parametrize("k", [3, 8, 16])
+@pytest.mark.parametrize(
+    "method", ["finegrain", "columnnet", "rownet", "graph", "finegrain-rect"]
+)
+def test_tree_parallel_bit_identical_across_methods(matrix, method, k):
+    """Every decompose() method, every schedule: one partition."""
+    ref = None
+    for workers, backend in SCHEDULES:
+        cfg = _tree_cfg(workers, backend)
+        res = decompose(matrix, k, method=method, config=cfg, seed=42)
+        if ref is None:
+            ref = res
+        else:
+            assert np.array_equal(res.part, ref.part), (method, k, workers, backend)
+            assert res.cutsize == ref.cutsize
+
+
+@pytest.mark.parametrize("k", [3, 8, 16])
+@pytest.mark.parametrize("workers,backend", SCHEDULES[1:])
+def test_partition_recursive_tree_matches_serial(k, workers, backend):
+    """Direct partition_recursive: parallel == serial, and the cut-net
+    splitting invariant (sum of bisection cuts == Eq. 3 cutsize) holds."""
+    from repro.hypergraph.partition import cutsize_connectivity
+
+    h = random_hypergraph(as_rng(5), 150, 120, weighted=True)
+    serial = partition_hypergraph(h, k, _tree_cfg(1, "serial"), seed=9)
+    par = partition_hypergraph(h, k, _tree_cfg(workers, backend), seed=9)
+    assert np.array_equal(serial.part, par.part)
+    assert sum(par.bisection_cuts) == cutsize_connectivity(h, par.part)
+
+
+def test_tree_parallel_respects_fixed_vertices():
+    h = random_hypergraph(as_rng(1), 120, 90)
+    fixed = np.full(120, -1, dtype=np.int64)
+    fixed[:6] = [0, 1, 2, 3, 0, 1]
+    h = Hypergraph(
+        h.num_vertices, h.xpins, h.pins,
+        vertex_weights=h.vertex_weights, net_costs=h.net_costs, fixed=fixed,
+    )
+    serial = partition_hypergraph(h, 4, _tree_cfg(1, "serial"), seed=3)
+    par = partition_hypergraph(h, 4, _tree_cfg(4, "process"), seed=3)
+    assert np.array_equal(serial.part, par.part)
+    assert np.array_equal(par.part[:6], fixed[:6])
+
+
+def test_tree_mode_spawn_knobs_never_change_bits():
+    """spawn_depth / spawn_min_vertices are pure scheduling policy."""
+    h = random_hypergraph(as_rng(8), 100, 80)
+    ref = partition_hypergraph(h, 8, _tree_cfg(1, "serial"), seed=1)
+    for depth, minv in [(0, 1), (1, 50), (3, 1), (2, 10**9)]:
+        cfg = _tree_cfg(3, "thread", spawn_depth=depth).with_(
+            spawn_min_vertices=minv
+        )
+        res = partition_hypergraph(h, 8, cfg, seed=1)
+        assert np.array_equal(res.part, ref.part), (depth, minv)
+
+
+def test_tree_mode_differs_from_legacy_but_is_self_consistent():
+    """tree_parallel=True is its own deterministic universe — repeat runs
+    agree; the legacy sequential stream is a different (still pinned)
+    universe."""
+    h = random_hypergraph(as_rng(4), 100, 80)
+    a = partition_hypergraph(h, 8, _tree_cfg(1, "serial"), seed=0)
+    b = partition_hypergraph(h, 8, _tree_cfg(1, "serial"), seed=0)
+    assert np.array_equal(a.part, b.part)
+    legacy = partition_hypergraph(h, 8, seed=0)
+    # no bit contract between the modes; quality must stay in family
+    assert abs(legacy.cutsize - a.cutsize) <= max(10, legacy.cutsize)
+
+
+def test_tree_parallel_with_engine_shares_budget():
+    """n_starts > 1 + tree_parallel: same bits on serial and process
+    engines, and the budget split never exceeds n_workers."""
+    h = random_hypergraph(as_rng(6), 150, 130)
+    cfg_serial = _tree_cfg(1, "serial").with_(n_starts=3)
+    cfg_proc = _tree_cfg(4, "process").with_(n_starts=3)
+    rs = partition_multistart(h, 4, cfg_serial, seed=5)
+    rp = partition_multistart(h, 4, cfg_proc, seed=5)
+    assert np.array_equal(rs.part, rp.part)
+    assert rs.cutsize == rp.cutsize
+
+
+def test_tree_workers_budget_math():
+    base = PartitionerConfig(tree_parallel=True)
+    # serial engine: the whole budget goes to the tree
+    assert _tree_workers(base.with_(n_workers=4, n_starts=3), "serial") == 4
+    # parallel engine: starts occupy min(workers, starts) slots
+    assert _tree_workers(base.with_(n_workers=4, n_starts=2), "process") == 2
+    assert _tree_workers(base.with_(n_workers=4, n_starts=4), "process") == 1
+    assert _tree_workers(base.with_(n_workers=8, n_starts=2), "process") == 4
+    assert _tree_workers(base.with_(n_workers=2, n_starts=8), "process") == 1
+    # legacy recursion never fans out
+    assert _tree_workers(
+        PartitionerConfig(tree_parallel=False, n_workers=8, n_starts=2), "process"
+    ) == 1
+
+
+# ----------------------------------------------------------------------
+# golden pinning: the seed-tree universe must never drift
+# ----------------------------------------------------------------------
+TREE_GOLDEN_CASES = [
+    (nv, nn, hseed, k, seed)
+    for nv, nn, hseed in [(60, 50, 0), (200, 160, 2)]
+    for k in (2, 8)
+    for seed in (0,)
+]
+
+
+@pytest.mark.parametrize("nv,nn,hseed,k,seed", TREE_GOLDEN_CASES)
+@pytest.mark.parametrize("workers,backend", [(1, "serial"), (2, "thread"), (4, "process")])
+def test_golden_tree_partitions(nv, nn, hseed, k, seed, workers, backend):
+    h = random_hypergraph(as_rng(hseed), nv, nn)
+    res = partition_hypergraph(h, k, _tree_cfg(workers, backend), seed=seed)
+    gold = GOLDEN[f"tree-{nv}x{nn}-s{hseed}-k{k}-seed{seed}"]
+    assert res.cutsize == gold["cutsize"]
+    assert _sig(res.part) == gold["sha256"]
+
+
+# ----------------------------------------------------------------------
+# scheduler / budget units
+# ----------------------------------------------------------------------
+def test_worker_budget_slots():
+    b = WorkerBudget(2)
+    assert b.try_acquire() and b.try_acquire()
+    assert not b.try_acquire()
+    b.release()
+    assert b.try_acquire()
+    assert not WorkerBudget(0).try_acquire()
+
+
+def test_scheduler_declines_below_frontier_and_size():
+    cfg = PartitionerConfig(
+        tree_parallel=True, n_workers=4, start_backend="thread",
+        spawn_depth=2, spawn_min_vertices=100,
+    )
+    with TreeScheduler(cfg) as sched:
+        assert sched.offer(2, 10**6, lambda: None) is None  # too deep
+        assert sched.offer(0, 99, lambda: None) is None  # too small
+        fut = sched.offer(0, 100, int, "7")
+        assert fut is not None and fut.result() == 7
+
+
+def test_scheduler_serial_backend_is_inert():
+    cfg = PartitionerConfig(tree_parallel=True, n_workers=4, start_backend="serial")
+    with TreeScheduler(cfg) as sched:
+        assert sched.offer(0, 10**6, int, "1") is None
+
+
+def test_scheduler_survives_task_failure():
+    """A crashing subtree task costs wall clock, not the partition."""
+    import repro.partitioner.recursive as rec_mod
+
+    h = random_hypergraph(as_rng(2), 150, 120)
+    ref = partition_hypergraph(h, 8, _tree_cfg(1, "serial"), seed=4)
+
+    real = rec_mod._solve_subtree
+    calls = {"n": 0}
+
+    def flaky(*args, **kwargs):
+        calls["n"] += 1
+        raise RuntimeError("injected subtree crash")
+
+    rec_mod._solve_subtree = flaky
+    try:
+        res = partition_hypergraph(h, 8, _tree_cfg(3, "thread"), seed=4)
+    finally:
+        rec_mod._solve_subtree = real
+    assert calls["n"] > 0, "no subtree was ever offered to the pool"
+    assert np.array_equal(res.part, ref.part)
+
+
+# ----------------------------------------------------------------------
+# shared-memory transport
+# ----------------------------------------------------------------------
+def _segment_gone(meta: dict) -> bool:
+    try:
+        Hypergraph.from_shm(meta)
+    except FileNotFoundError:
+        return True
+    return False
+
+
+def test_shm_roundtrip_and_unlink():
+    h = random_hypergraph(as_rng(3), 80, 70, weighted=True)
+    handle = h.to_shm()
+    assert isinstance(handle, SharedHypergraph)
+    h2 = Hypergraph.from_shm(handle.meta)
+    assert h2 == h
+    assert np.array_equal(h2.xnets, h.xnets)
+    assert np.array_equal(h2.vnets, h.vnets)
+    # attached arrays are read-only views
+    with pytest.raises(ValueError):
+        h2.pins[0] = 1
+    handle.close()
+    handle.close()  # idempotent
+    assert _segment_gone(handle.meta)
+
+
+def test_shm_roundtrip_with_fixed():
+    h = random_hypergraph(as_rng(9), 40, 30)
+    fixed = np.full(40, -1, dtype=np.int64)
+    fixed[0] = 2
+    h = Hypergraph(40, h.xpins, h.pins, fixed=fixed)
+    with h.to_shm() as handle:
+        h2 = Hypergraph.from_shm(handle.meta)
+        assert np.array_equal(h2.fixed, fixed)
+
+
+def test_engine_shm_transport_matches_pickle_and_serial():
+    h = random_hypergraph(as_rng(0), 200, 170)
+    serial = partition_multistart(
+        h, 4, PartitionerConfig(n_starts=3, start_backend="serial"), seed=0
+    )
+    shm = partition_multistart(
+        h, 4,
+        PartitionerConfig(n_starts=3, n_workers=2, start_backend="process"),
+        seed=0,
+    )
+    pickle_t = partition_multistart(
+        h, 4,
+        PartitionerConfig(
+            n_starts=3, n_workers=2, start_backend="process", shm_transport=False
+        ),
+        seed=0,
+    )
+    assert np.array_equal(serial.part, shm.part)
+    assert np.array_equal(serial.part, pickle_t.part)
+
+
+def _crashing_start(k, cfg, seed):
+    """Module-level so the process pool can pickle it by reference."""
+    raise ValueError("injected start crash")
+
+
+def test_engine_unlinks_shm_when_a_start_crashes(monkeypatch):
+    """Inject a failing start; the segment must not outlive the engine."""
+    import repro.partitioner.engine as eng
+
+    h = random_hypergraph(as_rng(1), 150, 120)
+    handles = []
+    real_to_shm = Hypergraph.to_shm
+
+    def tracking_to_shm(self):
+        handle = real_to_shm(self)
+        handles.append(handle)
+        return handle
+
+    monkeypatch.setattr(Hypergraph, "to_shm", tracking_to_shm)
+    monkeypatch.setattr(eng, "_run_start_shm", _crashing_start)
+    cfg = PartitionerConfig(n_starts=3, n_workers=2, start_backend="process")
+    with pytest.raises(ValueError, match="injected start crash"):
+        partition_multistart(h, 4, cfg, seed=0)
+    assert handles, "process backend did not use shm transport"
+    assert all(_segment_gone(hd.meta) for hd in handles)
+    assert not glob.glob("/dev/shm/psm_*")
+
+
+def test_engine_shm_fallback_when_shm_unavailable(monkeypatch):
+    """to_shm raising must degrade to pickle transport, not fail."""
+
+    def broken_to_shm(self):
+        raise OSError("no /dev/shm")
+
+    monkeypatch.setattr(Hypergraph, "to_shm", broken_to_shm)
+    h = random_hypergraph(as_rng(2), 120, 100)
+    cfg = PartitionerConfig(n_starts=2, n_workers=2, start_backend="process")
+    serial = partition_multistart(
+        h, 4, PartitionerConfig(n_starts=2, start_backend="serial"), seed=1
+    )
+    res = partition_multistart(h, 4, cfg, seed=1)
+    assert np.array_equal(res.part, serial.part)
+
+
+# ----------------------------------------------------------------------
+# config / env knobs
+# ----------------------------------------------------------------------
+def test_config_validation():
+    with pytest.raises(ValueError):
+        PartitionerConfig(spawn_depth=-1)
+    with pytest.raises(ValueError):
+        PartitionerConfig(spawn_min_vertices=-1)
+
+
+def test_env_defaults(monkeypatch):
+    monkeypatch.setenv("REPRO_TREE_PARALLEL", "1")
+    monkeypatch.setenv("REPRO_N_WORKERS", "3")
+    monkeypatch.setenv("REPRO_START_BACKEND", "thread")
+    cfg = PartitionerConfig()
+    assert cfg.tree_parallel and cfg.n_workers == 3
+    assert cfg.start_backend == "thread"
+    # explicit arguments always win over the environment
+    cfg = PartitionerConfig(tree_parallel=False, n_workers=1)
+    assert not cfg.tree_parallel and cfg.n_workers == 1
+
+
+def test_decompose_tree_parallel_override(matrix):
+    a = decompose(matrix, 4, method="finegrain", seed=0, tree_parallel=True)
+    b = decompose(
+        matrix, 4, method="finegrain", seed=0,
+        config=PartitionerConfig(tree_parallel=True),
+    )
+    assert np.array_equal(a.part, b.part)
