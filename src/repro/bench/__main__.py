@@ -24,6 +24,12 @@ treeparallel
     Benchmark zero-copy shm transport vs pickle and the tree-parallel
     recursion across backends/worker counts (verifying bit-identity);
     write BENCH_treeparallel.json.
+verify
+    Differential replay: run the same decomposition across every
+    execution backend (serial / thread / process, shm on/off, legacy vs
+    seed-tree recursion), diff partitions bit for bit within each
+    determinism universe, and write a JSON replay report.  Exits 1 on
+    any divergence.
 
 Common options: ``--scale`` (matrix size factor, default 0.125 so a laptop
 finishes in minutes; 1.0 reproduces the original sizes), ``--ks``,
@@ -54,7 +60,7 @@ def _parse(argv):
         "command",
         choices=[
             "table1", "table2", "summary", "models2d", "experiments",
-            "multistart", "treeparallel",
+            "multistart", "treeparallel", "verify",
         ],
     )
     p.add_argument("--output", default="EXPERIMENTS.md",
@@ -150,6 +156,37 @@ def main(argv=None) -> int:
         write_treeparallel_bench(path, doc)
         print(f"wrote {path}")
         return 0
+
+    if args.command == "verify":
+        from repro.verify import replay_decompose, write_replay_report
+
+        names = args.matrices or ["sherman3", "bcspwr10"]
+        unknown = set(names) - set(collection_names())
+        if unknown:
+            print(f"unknown matrices: {sorted(unknown)}", file=sys.stderr)
+            return 2
+        reports = []
+        for name in names:
+            a = load_collection_matrix(name, scale=args.scale, seed=args.matrix_seed)
+            print(f"  replaying {name}", file=sys.stderr)
+            rep = replay_decompose(
+                a,
+                args.ks[0],
+                seed=0,
+                n_starts=args.starts,
+                n_workers=args.workers,
+                epsilon=args.epsilon,
+                matrix_label=name,
+            )
+            print(rep.summary())
+            reports.append(rep)
+        path = (
+            args.output if args.output != "EXPERIMENTS.md"
+            else "BENCH_verify_replay.json"
+        )
+        write_replay_report(path, reports)
+        print(f"wrote {path}")
+        return 0 if all(r.passed for r in reports) else 1
 
     names = args.matrices or collection_names()
     unknown = set(names) - set(collection_names())

@@ -10,6 +10,11 @@ partition
 spmv
     Load a decomposition produced by ``partition`` and simulate one
     distributed multiply, verifying it against the serial product.
+verify
+    Audit a saved partition file with the independent oracles of
+    :mod:`repro.verify`: balance, cutsize, the consistency condition and
+    the Eq. 3 cutsize == communication-volume equivalence.  Exits 1 when
+    any check fails.
 profile
     Run a full decomposition + simulated SpMV under a telemetry recorder;
     print the span tree, counter totals and the hottest phases, and
@@ -105,12 +110,23 @@ def _parse(argv):
                          "every bisection over the worker budget "
                          "(bit-identical at any worker count)")
     pp.add_argument("--output", default=None,
-                    help="write ownership arrays to this .npz file")
+                    help="write ownership arrays (and the model partition, "
+                         "when the model has one) to this .npz file")
+    pp.add_argument("--verify", action="store_true",
+                    help="audit the result with the independent oracles "
+                         "before reporting; non-zero exit on failure")
 
     ps = sub.add_parser("spmv", help="simulate a distributed multiply")
     ps.add_argument("matrix")
     ps.add_argument("decomposition", help=".npz written by the partition command")
     ps.add_argument("--seed", type=int, default=0)
+
+    pv = sub.add_parser(
+        "verify", help="audit a saved partition with independent oracles"
+    )
+    pv.add_argument("matrix")
+    pv.add_argument("decomposition", help=".npz written by the partition command")
+    pv.add_argument("--epsilon", type=float, default=0.03)
 
     pa = sub.add_parser("analyze", help="per-processor decomposition report")
     pa.add_argument("matrix")
@@ -157,6 +173,53 @@ def _config_from_args(args) -> PartitionerConfig:
         n_workers=getattr(args, "workers", 1),
         **kwargs,
     )
+
+
+def _load_saved_decomposition(a: sp.csr_matrix, data) -> "Decomposition":
+    """Rebuild a :class:`Decomposition` from a ``partition --output`` file.
+
+    Older files carry no ``n`` entry; the matrix itself supplies the input
+    dimension so rectangular decompositions round-trip correctly.
+    """
+    from repro.core.decomposition import Decomposition
+
+    coo = sp.coo_matrix(a)
+    return Decomposition(
+        k=int(data["k"]),
+        m=a.shape[0],
+        n=int(data["n"]) if "n" in data else a.shape[1],
+        nnz_row=coo.row.astype(np.int64),
+        nnz_col=coo.col.astype(np.int64),
+        nnz_val=coo.data.astype(np.float64),
+        nnz_owner=data["nnz_owner"],
+        x_owner=data["x_owner"],
+        y_owner=data["y_owner"],
+    )
+
+
+def _cmd_verify(a: sp.csr_matrix, args) -> int:
+    """The ``verify`` command: oracle-audit a saved partition file."""
+    from types import SimpleNamespace
+
+    from repro.verify import check_decomposition, verify_decompose
+
+    data = np.load(args.decomposition)
+    dec = _load_saved_decomposition(a, data)
+    if "part" in data and "method" in data and "cutsize" in data:
+        res = SimpleNamespace(
+            method=str(data["method"]),
+            k=dec.k,
+            part=np.asarray(data["part"]),
+            cutsize=int(data["cutsize"]),
+            decomposition=dec,
+        )
+        report = verify_decompose(a, res, epsilon=args.epsilon)
+    else:
+        # ownership arrays only (e.g. checkerboard/jagged models): the
+        # decomposition-level invariants are still fully checkable
+        report = check_decomposition(dec)
+    print(report.summary())
+    return 0 if report.passed else 1
 
 
 def _cmd_profile(a: sp.csr_matrix, args) -> int:
@@ -212,23 +275,55 @@ def main(argv=None) -> int:
     if args.command == "profile":
         return _cmd_profile(a, args)
 
+    if args.command == "verify":
+        return _cmd_verify(a, args)
+
     if args.command == "partition":
         cfg = _config_from_args(args)
-        dec = _MODELS[args.model](a, args.k, cfg, args.seed)
+        res = None
+        if args.model in _DECOMPOSE_METHODS:
+            res = decompose(
+                a,
+                args.k,
+                method=_DECOMPOSE_METHODS[args.model],
+                config=cfg,
+                seed=args.seed,
+                verify=False if args.verify else None,
+            )
+            dec = res.decomposition
+        else:
+            dec = _MODELS[args.model](a, args.k, cfg, args.seed)
         stats = communication_stats(dec)
         print(stats.summary())
         print(
             f"scaled: tot={stats.scaled_total_volume:.3f} "
             f"max={stats.scaled_max_volume:.3f}"
         )
+        if args.verify:
+            from repro.verify import check_decomposition, verify_decompose
+
+            report = (
+                verify_decompose(a, res, epsilon=cfg.epsilon)
+                if res is not None
+                else check_decomposition(dec)
+            )
+            print(report.summary())
+            if not report.passed:
+                return 1
         if args.output:
-            np.savez(
-                args.output,
+            payload = dict(
                 k=dec.k,
+                m=dec.m,
+                n=dec.n,
                 nnz_owner=dec.nnz_owner,
                 x_owner=dec.x_owner,
                 y_owner=dec.y_owner,
             )
+            if res is not None:
+                payload.update(
+                    part=res.part, cutsize=res.cutsize, method=res.method
+                )
+            np.savez(args.output, **payload)
             print(f"wrote {args.output}")
         return 0
 
@@ -242,20 +337,10 @@ def main(argv=None) -> int:
 
     # spmv
     data = np.load(args.decomposition)
-    from repro.core.decomposition import Decomposition
-
-    coo = sp.coo_matrix(a)
-    dec = Decomposition(
-        k=int(data["k"]),
-        m=a.shape[0],
-        nnz_row=coo.row.astype(np.int64),
-        nnz_col=coo.col.astype(np.int64),
-        nnz_val=coo.data.astype(np.float64),
-        nnz_owner=data["nnz_owner"],
-        x_owner=data["x_owner"],
-        y_owner=data["y_owner"],
-    )
-    x = np.random.default_rng(args.seed).standard_normal(a.shape[0])
+    dec = _load_saved_decomposition(a, data)
+    # the input vector lives in the matrix's column space (dec.n != dec.m
+    # for rectangular decompositions)
+    x = np.random.default_rng(args.seed).standard_normal(dec.n)
     res = simulate_spmv(dec, x)
     ok = np.allclose(res.y, a @ x)
     print(res.stats.summary())

@@ -42,6 +42,7 @@ from repro.partitioner import (
     PartitionResult,
     partition_multistart,
 )
+from repro.partitioner.config import _env_bool
 
 __all__ = [
     "DecomposeResult",
@@ -214,6 +215,9 @@ class DecomposeResult:
     start_stats: list = field(default_factory=list)
     #: the underlying partitioner result object
     info: PartitionResult | GraphPartitionResult | None = None
+    #: oracle audit of this result (``decompose(..., verify=True)`` or
+    #: ``REPRO_VERIFY=1``); ``None`` when verification did not run
+    verification: object | None = None
 
     def summary(self) -> str:
         """One-line human-readable summary."""
@@ -235,6 +239,7 @@ def decompose(
     n_workers: int | None = None,
     early_stop_cut: int | None = None,
     tree_parallel: bool | None = None,
+    verify: bool | None = None,
     **method_kwargs,
 ) -> DecomposeResult:
     """Decompose sparse matrix *a* over *k* processors with any model.
@@ -257,6 +262,13 @@ def decompose(
         engine).  ``n_workers`` is the one shared budget: starts and
         tree-parallel subtrees together never occupy more workers than
         this.
+    verify:
+        Audit the result with the independent oracles of
+        :mod:`repro.verify` before returning (balance, cutsize,
+        consistency condition, Eq. 3 volume equivalence) and raise
+        :class:`repro.verify.VerificationError` on any failure.  The
+        report is attached as ``result.verification``.  Defaults to the
+        ``REPRO_VERIFY`` environment variable (off).
     method_kwargs:
         Extra per-method options (e.g. ``seed_1d=True`` for
         ``"finegrain"``).
@@ -287,7 +299,7 @@ def decompose(
     with Timer() as t:
         dec, info = _METHODS[method](a, k, config=cfg, seed=seed, **method_kwargs)
     cutsize = info.cutsize if hasattr(info, "cutsize") else info.edge_cut
-    return DecomposeResult(
+    res = DecomposeResult(
         method=method,
         k=k,
         decomposition=dec,
@@ -298,3 +310,11 @@ def decompose(
         start_stats=list(getattr(info, "start_stats", [])),
         info=info,
     )
+    if verify is None:
+        verify = _env_bool("REPRO_VERIFY", False)
+    if verify:
+        from repro.verify import verify_decompose
+
+        res.verification = verify_decompose(a, res, epsilon=cfg.epsilon)
+        res.verification.raise_if_failed()
+    return res

@@ -78,10 +78,9 @@ def read_patoh(path_or_file) -> Hypergraph:
         netlists: list[list[int]] = []
         costs: list[int] = []
         seen = 0
-        # PaToH is line-oriented: one net per line
+        # PaToH is line-oriented: one net per line (blank = empty net)
         for _ in range(nn):
-            line = next(tokens.lines)
-            parts = [int(t) for t in line.split()]
+            parts = [int(t) for t in tokens.net_line().split()]
             if wn:
                 costs.append(parts[0])
                 parts = parts[1:]
@@ -152,7 +151,7 @@ def read_hmetis(path_or_file) -> Hypergraph:
         netlists: list[list[int]] = []
         costs: list[int] = []
         for _ in range(nn):
-            parts = [int(t) for t in next(tokens.lines).split()]
+            parts = [int(t) for t in tokens.net_line().split()]
             if wn:
                 costs.append(parts[0])
                 parts = parts[1:]
@@ -181,7 +180,14 @@ def read_hmetis(path_or_file) -> Hypergraph:
 
 # ----------------------------------------------------------------------
 class _TokenStream:
-    """Comment/blank-skipping line reader shared by both format parsers."""
+    """Line reader shared by both format parsers.
+
+    ``lines`` skips comments *and* blanks (headers, weight blocks);
+    :meth:`net_line` skips only comments — inside the net block a blank
+    line is data: it encodes an empty net (a net with zero pins writes as
+    an empty line, and swallowing it would shift every following net up
+    by one).
+    """
 
     def __init__(self, f: TextIO) -> None:
         self._f = f
@@ -196,6 +202,17 @@ class _TokenStream:
             if not s or s.startswith("%") or s.startswith("#"):
                 continue
             yield s
+
+    def net_line(self) -> str:
+        """Next net line; blank means an empty net, comments are skipped."""
+        while True:
+            line = self._f.readline()
+            if not line:
+                raise ValueError("unexpected end of file inside net block")
+            s = line.strip()
+            if s.startswith("%") or s.startswith("#"):
+                continue
+            return s
 
 
 def _tokenize(f: TextIO) -> _TokenStream:

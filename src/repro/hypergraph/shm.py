@@ -29,6 +29,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.telemetry import get_recorder
+from repro.verify.faults import trip as _fault_trip
 
 __all__ = ["SharedHypergraph", "hypergraph_to_shm", "hypergraph_from_shm"]
 
@@ -84,7 +86,13 @@ class SharedHypergraph:
         return int(self.meta["nbytes"])
 
     def close(self) -> None:
-        """Close and unlink the segment (idempotent)."""
+        """Close and unlink the segment (idempotent).
+
+        An ``OSError`` from the unlink itself (injectable at the
+        ``shm.unlink`` fault site) must not fail the partitioning call
+        that already succeeded: it is absorbed and counted as
+        ``shm.unlink_errors`` telemetry.
+        """
         shm, self._shm = self._shm, None
         if shm is None:
             return
@@ -92,9 +100,12 @@ class SharedHypergraph:
             shm.close()
         finally:
             try:
+                _fault_trip("shm.unlink")
                 shm.unlink()
             except FileNotFoundError:
                 pass
+            except OSError:
+                get_recorder().add("shm.unlink_errors")
 
     def __enter__(self) -> "SharedHypergraph":
         return self
@@ -118,6 +129,7 @@ def hypergraph_to_shm(h: Hypergraph) -> SharedHypergraph:
     """
     from multiprocessing import shared_memory
 
+    _fault_trip("shm.create")
     arrays = {}
     total = 0
     for slot in _ARRAY_SLOTS:
@@ -162,6 +174,7 @@ def hypergraph_from_shm(meta: dict) -> Hypergraph:
     attachment handle is parked on the instance so the mapping outlives the
     arrays using it.
     """
+    _fault_trip("shm.attach")
     shm = _attach(meta["name"])
     h = Hypergraph.__new__(Hypergraph)
     h.num_vertices = int(meta["num_vertices"])

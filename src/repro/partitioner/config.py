@@ -29,6 +29,16 @@ def _env_str(name: str, fallback: str) -> str:
     return os.environ.get(name, fallback)
 
 
+def _env_float(name: str, fallback: float | None) -> float | None:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return fallback
+    try:
+        return float(raw)
+    except ValueError:
+        return fallback
+
+
 @dataclass(frozen=True)
 class PartitionerConfig:
     """Tuning knobs of :func:`repro.partitioner.partition_hypergraph`.
@@ -123,6 +133,15 @@ class PartitionerConfig:
     shm_transport: bool = field(
         default_factory=lambda: _env_bool("REPRO_SHM_TRANSPORT", True)
     )
+    #: seconds to wait for a spawned subtree task before abandoning it and
+    #: recomputing the subtree inline (``None`` waits indefinitely).  A
+    #: timeout costs wall clock, never correctness — the seed tree makes
+    #: the inline recompute bit-identical.  Counted as
+    #: ``tree.task_timeouts`` telemetry.  Env-overridable default:
+    #: ``REPRO_TREE_TASK_TIMEOUT``.
+    tree_task_timeout: float | None = field(
+        default_factory=lambda: _env_float("REPRO_TREE_TASK_TIMEOUT", None)
+    )
     #: stop launching further starts once one achieves a feasible partition
     #: with cutsize at or below this target (``None`` disables).  Trades
     #: the deterministic "all n_starts run" protocol for wall-clock time;
@@ -151,6 +170,8 @@ class PartitionerConfig:
             raise ValueError("spawn_min_vertices must be >= 0")
         if self.early_stop_cut is not None and self.early_stop_cut < 0:
             raise ValueError("early_stop_cut must be non-negative")
+        if self.tree_task_timeout is not None and self.tree_task_timeout <= 0:
+            raise ValueError("tree_task_timeout must be positive (or None)")
 
     def with_(self, **kwargs) -> "PartitionerConfig":
         """Return a copy with the given fields replaced."""

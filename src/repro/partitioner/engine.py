@@ -52,6 +52,7 @@ from repro.hypergraph.hypergraph import Hypergraph
 from repro.partitioner.config import PartitionerConfig
 from repro.partitioner.driver import PartitionResult, partition_hypergraph
 from repro.telemetry import get_recorder
+from repro.verify.faults import trip as _fault_trip
 
 __all__ = ["StartStat", "partition_multistart"]
 
@@ -78,6 +79,7 @@ def _run_start(
     h: Hypergraph, k: int, cfg: PartitionerConfig, seed: int
 ) -> PartitionResult:
     """Worker body: one single-start pipeline (top-level for pickling)."""
+    _fault_trip("engine.start")
     return partition_hypergraph(h, k, cfg, seed)
 
 
@@ -95,6 +97,7 @@ def _attach_worker(meta: dict) -> None:
 
 def _run_start_shm(k: int, cfg: PartitionerConfig, seed: int) -> PartitionResult:
     """Worker body for shm transport: the task ships no hypergraph at all."""
+    _fault_trip("engine.start")
     assert _WORKER_HG is not None, "worker initializer did not run"
     return partition_hypergraph(_WORKER_HG, k, cfg, seed)
 

@@ -30,6 +30,7 @@ from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 
 from repro.partitioner.config import PartitionerConfig
 from repro.telemetry import get_recorder
+from repro.verify.faults import trip as _fault_trip
 
 __all__ = ["WorkerBudget", "TreeScheduler", "resolve_tree_backend"]
 
@@ -122,6 +123,7 @@ class TreeScheduler:
             self.budget.release()
             return None
         try:
+            _fault_trip("pool.submit")
             fut = ex.submit(fn, *args)
         except (OSError, RuntimeError):
             self.budget.release()

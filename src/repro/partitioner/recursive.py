@@ -30,6 +30,7 @@ to running the whole tree serially, at any worker count, on any backend.
 from __future__ import annotations
 
 import math
+from concurrent.futures import TimeoutError as _FutureTimeout
 
 import numpy as np
 
@@ -38,6 +39,7 @@ from repro.hypergraph.hypergraph import Hypergraph
 from repro.partitioner.bisect import multilevel_bisect
 from repro.partitioner.config import PartitionerConfig
 from repro.telemetry import get_recorder
+from repro.verify.faults import trip as _fault_trip
 
 __all__ = ["partition_recursive", "extract_side", "bisection_epsilon"]
 
@@ -211,6 +213,7 @@ def _solve_subtree(
     eps_b: float,
 ) -> tuple[np.ndarray, list[int]]:
     """Worker task body: solve one subtree inline (top-level for pickling)."""
+    _fault_trip("tree.task")
     return _solve_node(h, k, cfg, entropy, path, fixed, eps_b, None)
 
 
@@ -271,7 +274,16 @@ def _solve_node(
 
         if fut is not None:
             try:
-                part_r, cuts_r = fut.result()
+                part_r, cuts_r = fut.result(timeout=cfg.tree_task_timeout)
+            except _FutureTimeout:
+                # a stuck task (hung worker, injected sleep) is abandoned
+                # after cfg.tree_task_timeout seconds and recomputed inline;
+                # its budget slot frees whenever it eventually finishes
+                fut.cancel()
+                rec.add("tree.task_timeouts")
+                part_r, cuts_r = _solve_node(
+                    sub_r, k_r, cfg, entropy, path + (1,), fix_r, eps_b, None
+                )
             except Exception:
                 # a dead worker (broken pool, crashed task) costs wall
                 # clock, never correctness: recompute the subtree inline

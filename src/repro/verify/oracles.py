@@ -1,0 +1,523 @@
+"""Invariant oracles: slow-but-obviously-correct re-implementations.
+
+Every quality metric the production code computes with vectorized numpy
+(lexsorts, bincounts, fused masks) is re-derived here with plain Python
+loops, sets and dicts — directly transcribing the paper's definitions:
+
+* balance (Eq. 1): ``W_k <= W_avg * (1 + eps)`` for every part;
+* cut-net cutsize (Eq. 2): ``sum of c_j over nets with lambda_j > 1``;
+* connectivity-1 cutsize (Eq. 3): ``sum of c_j * (lambda_j - 1)``;
+* the consistency condition of §3 (diagonal vertex of every column pinned
+  in both its row net and its column net; dummies weightless);
+* the expand+fold communication volume, recomputed from the ownership
+  arrays of the :class:`~repro.core.decomposition.Decomposition` itself —
+  independently of both the partitioner and the vectorized simulator.
+
+:func:`check_all` runs the oracles against their production counterparts
+and returns a structured :class:`VerificationReport`;
+:func:`verify_decompose` rebuilds the hypergraph model of a
+:func:`repro.decompose` result from scratch and audits the whole chain,
+including the paper's central theorem (Eq. 3 cutsize == measured volume).
+
+These functions are O(pins) with Python-level constants — run them on test
+instances and saved partitions, not in inner loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.decomposition import Decomposition
+from repro.core.finegrain import FineGrainModel, build_finegrain_model
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.partition import (
+    compute_part_weights,
+    cutsize_connectivity,
+    cutsize_cutnet,
+    imbalance,
+    net_connectivities,
+    net_connectivity_sets,
+)
+from repro.models.onedim import build_columnnet_model, build_rownet_model
+from repro.spmv.simulator import communication_stats
+
+__all__ = [
+    "CheckResult",
+    "VerificationReport",
+    "VerificationError",
+    "oracle_part_weights",
+    "oracle_imbalance",
+    "oracle_is_balanced",
+    "oracle_connectivity_sets",
+    "oracle_net_connectivities",
+    "oracle_cutsize_connectivity",
+    "oracle_cutsize_cutnet",
+    "oracle_validate",
+    "oracle_consistency",
+    "oracle_volume",
+    "check_partition",
+    "check_decomposition",
+    "check_all",
+    "verify_decompose",
+]
+
+
+class VerificationError(AssertionError):
+    """A verification report contained failed checks."""
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one oracle check."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "ok  " if self.passed else "FAIL"
+        tail = f"  {self.detail}" if self.detail else ""
+        return f"[{mark}] {self.name}{tail}"
+
+
+@dataclass
+class VerificationReport:
+    """Structured outcome of a verification run."""
+
+    #: what was verified, e.g. ``decompose(method=finegrain, k=8)``
+    subject: str
+    checks: list[CheckResult] = field(default_factory=list)
+
+    def add(self, name: str, passed: bool, detail: str = "") -> bool:
+        """Record one check; returns ``passed`` for chaining."""
+        self.checks.append(CheckResult(name, bool(passed), detail))
+        return bool(passed)
+
+    @property
+    def passed(self) -> bool:
+        """Whether every check passed."""
+        return all(c.passed for c in self.checks)
+
+    @property
+    def failures(self) -> list[CheckResult]:
+        """The failed checks only."""
+        return [c for c in self.checks if not c.passed]
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        n_fail = len(self.failures)
+        head = (
+            f"verify {self.subject}: "
+            f"{len(self.checks) - n_fail}/{len(self.checks)} checks passed"
+        )
+        return "\n".join([head] + [f"  {c}" for c in self.checks])
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`VerificationError` when any check failed."""
+        if not self.passed:
+            lines = [f"{self.subject}: {len(self.failures)} check(s) failed"]
+            lines += [f"  {c}" for c in self.failures]
+            raise VerificationError("\n".join(lines))
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form."""
+        return {
+            "subject": self.subject,
+            "passed": self.passed,
+            "checks": [
+                {"name": c.name, "passed": c.passed, "detail": c.detail}
+                for c in self.checks
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# pure-Python reference implementations
+# ----------------------------------------------------------------------
+def oracle_part_weights(h: Hypergraph, part, k: int) -> list[int]:
+    """Eq. 1 part weights ``W_k``, one vertex at a time."""
+    w = [0] * k
+    for v in range(h.num_vertices):
+        w[int(part[v])] += int(h.vertex_weights[v])
+    return w
+
+
+def oracle_imbalance(h: Hypergraph, part, k: int) -> float:
+    """``(W_max - W_avg) / W_avg`` from the oracle part weights."""
+    w = oracle_part_weights(h, part, k)
+    avg = sum(int(x) for x in h.vertex_weights) / k
+    if avg == 0:
+        return 0.0
+    return (max(w) - avg) / avg
+
+
+def oracle_is_balanced(h: Hypergraph, part, k: int, epsilon: float) -> bool:
+    """The balance criterion of Eq. 1, checked literally per part."""
+    w = oracle_part_weights(h, part, k)
+    avg = sum(w) / k
+    return all(wk <= avg * (1.0 + epsilon) + 1e-9 for wk in w)
+
+
+def oracle_connectivity_sets(h: Hypergraph, part) -> list[set]:
+    """``Lambda_j``: the set of parts each net connects, via Python sets."""
+    lam: list[set] = []
+    for j in range(h.num_nets):
+        lam.append({int(part[int(v)]) for v in h.pins_of(j)})
+    return lam
+
+
+def oracle_net_connectivities(h: Hypergraph, part) -> list[int]:
+    """``lambda_j = |Lambda_j|`` per net (0 for empty nets)."""
+    return [len(s) for s in oracle_connectivity_sets(h, part)]
+
+
+def oracle_cutsize_connectivity(h: Hypergraph, part) -> int:
+    """Eq. 3: ``sum of c_j * (lambda_j - 1)`` over non-empty nets."""
+    total = 0
+    for j, lam in enumerate(oracle_net_connectivities(h, part)):
+        if lam > 0:
+            total += int(h.net_costs[j]) * (lam - 1)
+    return total
+
+
+def oracle_cutsize_cutnet(h: Hypergraph, part) -> int:
+    """Eq. 2: ``sum of c_j`` over nets with ``lambda_j > 1``."""
+    total = 0
+    for j, lam in enumerate(oracle_net_connectivities(h, part)):
+        if lam > 1:
+            total += int(h.net_costs[j])
+    return total
+
+
+def oracle_validate(h: Hypergraph, part, k: int) -> list[str]:
+    """Problems making *part* an invalid K-way partition (empty if valid)."""
+    problems: list[str] = []
+    part = np.asarray(part)
+    if part.shape != (h.num_vertices,):
+        return [
+            f"partition length {part.shape} != num_vertices {h.num_vertices}"
+        ]
+    for v in range(h.num_vertices):
+        p = int(part[v])
+        if not (0 <= p < k):
+            problems.append(f"vertex {v} has part id {p} outside [0, {k})")
+            if len(problems) >= 5:
+                problems.append("... (truncated)")
+                break
+    if h.fixed is not None:
+        for v in range(h.num_vertices):
+            f = int(h.fixed[v])
+            if f >= 0 and int(part[v]) != f:
+                problems.append(f"vertex {v} fixed to {f} but placed in {int(part[v])}")
+    return problems
+
+
+def oracle_consistency(model: FineGrainModel, part=None) -> list[str]:
+    """Violations of the §3 consistency condition (empty if it holds).
+
+    Checks structurally that every column *j* has a diagonal vertex
+    ``v_jj`` pinned in both its row net ``m_j`` and its column net ``n_j``,
+    and that every dummy vertex carries weight 0 (so Eq. 1 is untouched).
+    Given *part*, additionally confirms the decode
+    ``map[n_j] = map[m_j] = part[v_jj]`` lands in both connectivity sets —
+    the property that makes volume == cutsize exact.
+    """
+    h = model.hypergraph
+    problems: list[str] = []
+    for v in range(model.nnz, h.num_vertices):
+        if int(h.vertex_weights[v]) != 0:
+            problems.append(
+                f"dummy vertex {v} has weight {int(h.vertex_weights[v])} != 0"
+            )
+    for j in range(len(model.diag_vertex)):
+        dv = int(model.diag_vertex[j])
+        if dv < 0:
+            problems.append(f"column {j} has no diagonal vertex")
+            continue
+        row_pins = {int(v) for v in h.pins_of(model.row_net(j))}
+        col_pins = {int(v) for v in h.pins_of(model.col_net(j))}
+        if dv not in row_pins:
+            problems.append(f"diagonal vertex of column {j} not pinned in row net m_{j}")
+        if dv not in col_pins:
+            problems.append(f"diagonal vertex of column {j} not pinned in column net n_{j}")
+        if part is not None:
+            owner = int(part[dv])
+            lam_row = {int(part[int(v)]) for v in row_pins}
+            lam_col = {int(part[int(v)]) for v in col_pins}
+            if row_pins and owner not in lam_row:
+                problems.append(f"decode of y_{j} ({owner}) outside Lambda[m_{j}]")
+            if col_pins and owner not in lam_col:
+                problems.append(f"decode of x_{j} ({owner}) outside Lambda[n_{j}]")
+    return problems
+
+
+def oracle_volume(dec: Decomposition) -> dict:
+    """Expand+fold communication volume, recomputed element by element.
+
+    For every column *j*: the owner of ``x_j`` sends one word to each
+    *other* processor holding a nonzero of column *j* (expand).  For every
+    row *i*: each *other* processor holding a nonzero of row *i* sends one
+    partial sum to the owner of ``y_i`` (fold).  Pure dict-of-sets
+    accounting — no unique/bincount tricks shared with the simulator.
+    """
+    col_holders: dict[int, set] = {}
+    row_holders: dict[int, set] = {}
+    for e in range(dec.nnz):
+        p = int(dec.nnz_owner[e])
+        col_holders.setdefault(int(dec.nnz_col[e]), set()).add(p)
+        row_holders.setdefault(int(dec.nnz_row[e]), set()).add(p)
+    expand = 0
+    for j, holders in col_holders.items():
+        expand += len(holders - {int(dec.x_owner[j])})
+    fold = 0
+    for i, holders in row_holders.items():
+        fold += len(holders - {int(dec.y_owner[i])})
+    return {"expand": expand, "fold": fold, "total": expand + fold}
+
+
+# ----------------------------------------------------------------------
+# structured cross-checks (oracle vs production)
+# ----------------------------------------------------------------------
+def check_partition(
+    h: Hypergraph,
+    part,
+    k: int | None = None,
+    *,
+    epsilon: float = 0.03,
+    expected_cutsize: int | None = None,
+    strict_balance: bool = False,
+    report: VerificationReport | None = None,
+) -> VerificationReport:
+    """Audit a partition: validity, balance, and every metric cross-checked
+    against its vectorized production implementation."""
+    part = np.asarray(part)
+    if k is None:
+        k = int(part.max()) + 1 if len(part) else 1
+    rep = report or VerificationReport(subject=f"partition(k={k})")
+
+    problems = oracle_validate(h, part, k)
+    rep.add("partition.valid", not problems, "; ".join(problems))
+    if problems:
+        return rep  # metrics on an invalid partition are meaningless
+
+    w_oracle = oracle_part_weights(h, part, k)
+    w_fast = compute_part_weights(h, part, k)
+    rep.add(
+        "metrics.part_weights",
+        list(w_fast) == w_oracle,
+        f"oracle={w_oracle} vectorized={list(map(int, w_fast))}",
+    )
+
+    imb_oracle = oracle_imbalance(h, part, k)
+    imb_fast = imbalance(h, part, k)
+    rep.add(
+        "metrics.imbalance",
+        abs(imb_oracle - imb_fast) < 1e-9,
+        f"oracle={imb_oracle:.6f} vectorized={imb_fast:.6f}",
+    )
+    if strict_balance:
+        rep.add(
+            "partition.balance",
+            oracle_is_balanced(h, part, k, epsilon),
+            f"imbalance={imb_oracle:.4f} epsilon={epsilon}",
+        )
+
+    lam_oracle = oracle_connectivity_sets(h, part)
+    lam_fast = net_connectivity_sets(h, part)
+    sets_ok = all(
+        set(int(p) for p in lam_fast[j]) == lam_oracle[j]
+        for j in range(h.num_nets)
+    )
+    rep.add("metrics.connectivity_sets", sets_ok)
+    lam_counts = net_connectivities(h, part)
+    rep.add(
+        "metrics.connectivities",
+        [int(x) for x in lam_counts] == [len(s) for s in lam_oracle],
+    )
+
+    cut_oracle = oracle_cutsize_connectivity(h, part)
+    cut_fast = cutsize_connectivity(h, part)
+    rep.add(
+        "metrics.cutsize_connectivity",
+        cut_oracle == cut_fast,
+        f"oracle={cut_oracle} vectorized={cut_fast}",
+    )
+    cn_oracle = oracle_cutsize_cutnet(h, part)
+    cn_fast = cutsize_cutnet(h, part)
+    rep.add(
+        "metrics.cutsize_cutnet",
+        cn_oracle == cn_fast,
+        f"oracle={cn_oracle} vectorized={cn_fast}",
+    )
+    if expected_cutsize is not None:
+        rep.add(
+            "partition.cutsize",
+            cut_oracle == int(expected_cutsize),
+            f"oracle={cut_oracle} reported={int(expected_cutsize)}",
+        )
+    return rep
+
+
+def check_decomposition(
+    dec: Decomposition,
+    *,
+    report: VerificationReport | None = None,
+) -> VerificationReport:
+    """Audit a decomposition: ownership validity plus the volume oracle
+    against the vectorized simulator accounting."""
+    rep = report or VerificationReport(subject=f"decomposition(k={dec.k})")
+
+    problems: list[str] = []
+    for name in ("nnz_owner", "x_owner", "y_owner"):
+        arr = getattr(dec, name)
+        for i in range(len(arr)):
+            p = int(arr[i])
+            if not (0 <= p < dec.k):
+                problems.append(f"{name}[{i}] = {p} outside [0, {dec.k})")
+                break
+    if len(dec.x_owner) != dec.n:
+        problems.append(f"x_owner length {len(dec.x_owner)} != n {dec.n}")
+    if len(dec.y_owner) != dec.m:
+        problems.append(f"y_owner length {len(dec.y_owner)} != m {dec.m}")
+    rep.add("decomposition.valid", not problems, "; ".join(problems))
+
+    loads = dec.computational_loads()
+    loads_oracle = [0] * dec.k
+    for e in range(dec.nnz):
+        loads_oracle[int(dec.nnz_owner[e])] += 1
+    rep.add(
+        "decomposition.loads",
+        [int(x) for x in loads] == loads_oracle,
+    )
+
+    vol = oracle_volume(dec)
+    stats = communication_stats(dec)
+    rep.add(
+        "volume.oracle_vs_simulator",
+        vol["expand"] == int(stats.expand_volume)
+        and vol["fold"] == int(stats.fold_volume),
+        f"oracle={vol} simulator=(expand={int(stats.expand_volume)}, "
+        f"fold={int(stats.fold_volume)})",
+    )
+    return rep
+
+
+def check_all(
+    h: Hypergraph,
+    part,
+    k: int | None = None,
+    *,
+    epsilon: float = 0.03,
+    model: FineGrainModel | None = None,
+    dec: Decomposition | None = None,
+    expected_cutsize: int | None = None,
+    cut_equals_volume: bool = False,
+    strict_balance: bool = False,
+    report: VerificationReport | None = None,
+) -> VerificationReport:
+    """Run every applicable oracle and return one structured report.
+
+    ``model`` enables the §3 consistency checks (fine-grain hypergraphs);
+    ``dec`` enables the decomposition/volume checks; ``cut_equals_volume``
+    asserts the paper's theorem — Eq. 3 cutsize of (*h*, *part*) equals the
+    expand+fold volume of *dec* exactly.
+    """
+    part = np.asarray(part)
+    if k is None:
+        k = int(part.max()) + 1 if len(part) else 1
+    rep = report or VerificationReport(subject=f"check_all(k={k})")
+
+    check_partition(
+        h,
+        part,
+        k,
+        epsilon=epsilon,
+        expected_cutsize=expected_cutsize,
+        strict_balance=strict_balance,
+        report=rep,
+    )
+    if not rep.passed and rep.checks[-1].name == "partition.valid":
+        return rep
+
+    if model is not None:
+        problems = oracle_consistency(model, part)
+        rep.add("model.consistency", not problems, "; ".join(problems[:5]))
+
+    if dec is not None:
+        check_decomposition(dec, report=rep)
+        if cut_equals_volume:
+            vol = oracle_volume(dec)
+            cut = oracle_cutsize_connectivity(h, part)
+            rep.add(
+                "volume.equals_cutsize",
+                vol["total"] == cut,
+                f"volume={vol['total']} cutsize={cut} (Eq. 3 equivalence)",
+            )
+    return rep
+
+
+# ----------------------------------------------------------------------
+# end-to-end audit of a decompose() result
+# ----------------------------------------------------------------------
+def verify_decompose(a, res, epsilon: float = 0.03, strict_balance: bool = False) -> VerificationReport:
+    """Rebuild the model of a :func:`repro.decompose` result and audit it.
+
+    *res* needs attributes ``method``, ``k``, ``part``, ``cutsize`` and
+    ``decomposition`` (a :class:`~repro.core.api.DecomposeResult`, or any
+    duck-typed stand-in such as a reloaded partition file).
+
+    For the hypergraph methods the partition's Eq. 3 cutsize must equal
+    the decomposition's measured volume exactly.  The ``graph`` method's
+    edge cut is *not* the volume (the paper's point); its decomposition is
+    instead audited against the column-net hypergraph, whose cutsize of
+    the same row partition measures the true volume of any rowwise
+    decomposition.
+    """
+    method = res.method
+    k = int(res.k)
+    rep = VerificationReport(subject=f"decompose(method={method}, k={k})")
+
+    model: FineGrainModel | None = None
+    if method == "finegrain":
+        model = build_finegrain_model(a, consistency=True)
+        h = model.hypergraph
+        expected: int | None = int(res.cutsize)
+        equivalence = True
+    elif method == "finegrain-rect":
+        model_rect = build_finegrain_model(a, consistency=False)
+        h = model_rect.hypergraph
+        expected = int(res.cutsize)
+        equivalence = True
+    elif method == "columnnet":
+        h = build_columnnet_model(a, consistency=True).hypergraph
+        expected = int(res.cutsize)
+        equivalence = True
+    elif method == "rownet":
+        h = build_rownet_model(a, consistency=True).hypergraph
+        expected = int(res.cutsize)
+        equivalence = True
+    elif method == "graph":
+        # the 1D column-net hypergraph measures the true volume of *any*
+        # row partition; the graph model's edge cut does not
+        h = build_columnnet_model(a, consistency=True).hypergraph
+        expected = None
+        equivalence = True
+    else:
+        rep.add("method.known", False, f"cannot verify method {method!r}")
+        return rep
+
+    check_all(
+        h,
+        res.part,
+        k,
+        epsilon=epsilon,
+        model=model,
+        dec=res.decomposition,
+        expected_cutsize=expected,
+        cut_equals_volume=equivalence,
+        strict_balance=strict_balance,
+        report=rep,
+    )
+    return rep

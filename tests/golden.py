@@ -1,0 +1,89 @@
+"""Golden-partition registry shared by the determinism suites.
+
+``tests/data/golden_parts.json`` pins partitions (cutsize + sha256 of the
+int64 part array) recorded before the vectorized kernels and the engine
+landed; replaying them is the bit-identity contract of the repo.  Both
+determinism universes live in the same file — ``hg-*`` / matrix keys pin
+the legacy sequential stream, ``tree-*`` keys pin the seed-tree recursion.
+
+Regenerating goldens
+--------------------
+After an *intentional* algorithm change, re-record every golden the suite
+touches with::
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest tests -q
+
+In regen mode :func:`check_golden` records instead of asserting, and the
+merged registry is written back to ``golden_parts.json`` at interpreter
+exit.  Review the diff before committing — a golden change is a behavior
+change and the commit message should say why the bits moved.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import json
+import os
+
+import numpy as np
+
+__all__ = ["GOLDEN_PATH", "GOLDEN", "part_sig", "check_golden"]
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "golden_parts.json")
+
+_REGEN = os.environ.get("REPRO_REGEN_GOLDENS", "").strip().lower() not in (
+    "", "0", "false", "no", "off",
+)
+
+
+def _load() -> dict:
+    if not os.path.exists(GOLDEN_PATH):
+        return {}
+    with open(GOLDEN_PATH) as f:
+        return json.load(f)
+
+
+GOLDEN = _load()
+_UPDATES: dict[str, dict] = {}
+
+
+def part_sig(part: np.ndarray) -> str:
+    """Canonical partition signature: sha256 of the int64 part bytes."""
+    return hashlib.sha256(np.asarray(part, dtype=np.int64).tobytes()).hexdigest()
+
+
+def check_golden(key: str, part: np.ndarray, cutsize: int) -> None:
+    """Assert *part*/*cutsize* match the pinned golden entry *key*.
+
+    Under ``REPRO_REGEN_GOLDENS=1`` the entry is recorded instead and
+    flushed back to :data:`GOLDEN_PATH` at exit.
+    """
+    if _REGEN:
+        _UPDATES[key] = {"cutsize": int(cutsize), "sha256": part_sig(part)}
+        return
+    assert key in GOLDEN, (
+        f"no golden entry {key!r}; record it with "
+        f"REPRO_REGEN_GOLDENS=1 (see tests/golden.py)"
+    )
+    gold = GOLDEN[key]
+    assert int(cutsize) == gold["cutsize"], (
+        f"{key}: cutsize {cutsize} != golden {gold['cutsize']}"
+    )
+    assert part_sig(part) == gold["sha256"], (
+        f"{key}: partition drifted from its golden sha256"
+    )
+
+
+def _flush() -> None:
+    if not _UPDATES:
+        return
+    merged = {**GOLDEN, **_UPDATES}
+    with open(GOLDEN_PATH, "w") as f:
+        json.dump({k: merged[k] for k in sorted(merged)}, f, indent=2)
+        f.write("\n")
+    print(f"golden: wrote {len(_UPDATES)} entries to {GOLDEN_PATH}")
+
+
+if _REGEN:
+    atexit.register(_flush)

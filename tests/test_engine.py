@@ -3,20 +3,19 @@
 The golden partitions in ``tests/data/golden_parts.json`` were recorded
 before the vectorized kernels and the engine landed; replaying them pins
 the bit-identity contract (``n_starts=1`` at a fixed seed must reproduce
-the pre-vectorization partitions exactly).
+the pre-vectorization partitions exactly).  Golden loading/regeneration
+lives in :mod:`tests.golden` (``REPRO_REGEN_GOLDENS=1`` re-records).
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
 import pickle
 
 import numpy as np
 import pytest
 
 from tests.conftest import random_hypergraph
+from tests.golden import check_golden
 from repro._util import as_rng
 from repro.core.api import (
     decompose,
@@ -31,16 +30,6 @@ from repro.partitioner import (
     partition_multistart,
 )
 from repro.spmv import communication_stats
-
-GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "golden_parts.json")
-
-with open(GOLDEN_PATH) as f:
-    GOLDEN = json.load(f)
-
-
-def _sig(part: np.ndarray) -> str:
-    return hashlib.sha256(np.asarray(part, dtype=np.int64).tobytes()).hexdigest()
-
 
 # ----------------------------------------------------------------------
 # determinism goldens: n_starts=1 must stay bit-identical to pre-PR
@@ -64,9 +53,7 @@ _LEGACY = PartitionerConfig(tree_parallel=False)
 def test_golden_hypergraph_partitions(nv, nn, hseed, k, seed):
     h = random_hypergraph(as_rng(hseed), nv, nn)
     res = partition_hypergraph(h, k, config=_LEGACY, seed=seed)
-    gold = GOLDEN[f"hg-{nv}x{nn}-s{hseed}-k{k}-seed{seed}"]
-    assert res.cutsize == gold["cutsize"]
-    assert _sig(res.part) == gold["sha256"]
+    check_golden(f"hg-{nv}x{nn}-s{hseed}-k{k}-seed{seed}", res.part, res.cutsize)
 
 
 @pytest.mark.parametrize(
@@ -81,9 +68,7 @@ def test_golden_hypergraph_partitions(nv, nn, hseed, k, seed):
 def test_golden_config_variants(label, cfg):
     h = random_hypergraph(as_rng(3), 150, 120, weighted=True)
     res = partition_hypergraph(h, 4, config=cfg, seed=7)
-    gold = GOLDEN[f"hg-150x120-{label}-k4-seed7"]
-    assert res.cutsize == gold["cutsize"]
-    assert _sig(res.part) == gold["sha256"]
+    check_golden(f"hg-150x120-{label}-k4-seed7", res.part, res.cutsize)
 
 
 MATRIX_METHODS = {
@@ -101,9 +86,7 @@ def test_golden_matrix_decompositions(name, label):
     """Every decompose() method replays its pre-PR partition bit for bit."""
     a = load_collection_matrix(name, scale=0.25)
     res = decompose(a, 8, method=MATRIX_METHODS[label], config=_LEGACY, seed=0)
-    gold = GOLDEN[f"{name}-{label}-k8-seed0"]
-    assert res.cutsize == gold["cutsize"]
-    assert _sig(res.part) == gold["sha256"]
+    check_golden(f"{name}-{label}-k8-seed0", res.part, res.cutsize)
 
 
 # ----------------------------------------------------------------------

@@ -96,3 +96,37 @@ class TestHmetis:
     @settings(max_examples=30, deadline=None)
     def test_property_roundtrip(self, h):
         assert roundtrip(h, write_hmetis, read_hmetis) == h
+
+
+class TestEmptyNets:
+    """Regression: an empty net writes as a blank line, which the readers
+    used to skip — shifting every following net up by one (or running off
+    the end of the file)."""
+
+    def _h(self, **kw):
+        return hypergraph_from_netlists(5, [[0, 1], [], [2, 3, 4], []], **kw)
+
+    @pytest.mark.parametrize(
+        "writer,reader", [(write_patoh, read_patoh), (write_hmetis, read_hmetis)]
+    )
+    def test_roundtrip_empty_nets(self, writer, reader):
+        h = self._h()
+        assert roundtrip(h, writer, reader) == h
+
+    @pytest.mark.parametrize(
+        "writer,reader", [(write_patoh, read_patoh), (write_hmetis, read_hmetis)]
+    )
+    def test_roundtrip_empty_nets_weighted(self, writer, reader):
+        h = self._h(vertex_weights=[2, 1, 3, 1, 1], net_costs=[1, 5, 2, 4])
+        assert roundtrip(h, writer, reader) == h
+
+    def test_trailing_empty_net(self):
+        h = hypergraph_from_netlists(3, [[0, 1, 2], []])
+        assert roundtrip(h, write_patoh, read_patoh) == h
+        assert roundtrip(h, write_hmetis, read_hmetis) == h
+
+    def test_truncated_net_block_raises(self):
+        # header promises 3 nets but only 2 lines follow
+        text = "1 4 3 4 0\n1 2\n3 4\n"
+        with pytest.raises(ValueError, match="end of file"):
+            read_patoh(io.StringIO(text))

@@ -1,0 +1,157 @@
+"""Hypothesis property tests: model invariants on random inputs.
+
+Each property pins a contract the rest of the suite only samples:
+
+* the §3 consistency condition holds for every fine-grain model built
+  with ``consistency=True``, whatever the sparsity pattern;
+* the PaToH and hMeTiS writers/readers are exact inverses, including
+  empty nets, zero weights and weighted variants;
+* shared-memory transport round-trips every array slot bit for bit;
+* the vectorized partition metrics agree with the obviously-correct
+  pure-Python oracles of :mod:`repro.verify.oracles` on arbitrary
+  (hypergraph, partition) pairs.
+"""
+
+from __future__ import annotations
+
+import io as _io
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import hypergraphs, partitions_of, sparse_square_matrices
+from repro.core.finegrain import build_finegrain_model
+from repro.hypergraph.io import read_hmetis, read_patoh, write_hmetis, write_patoh
+from repro.hypergraph.partition import (
+    compute_part_weights,
+    cutsize_connectivity,
+    cutsize_cutnet,
+    net_connectivities,
+    net_connectivity_sets,
+)
+from repro.verify.oracles import (
+    oracle_connectivity_sets,
+    oracle_consistency,
+    oracle_cutsize_connectivity,
+    oracle_cutsize_cutnet,
+    oracle_net_connectivities,
+    oracle_part_weights,
+)
+
+
+# ----------------------------------------------------------------------
+# consistency condition (§3) on arbitrary sparse matrices
+# ----------------------------------------------------------------------
+@given(a=sparse_square_matrices(max_n=14))
+def test_finegrain_consistency_condition_always_holds(a):
+    """Every diagonal — real or dummy — is pinned in both of its nets."""
+    model = build_finegrain_model(a, consistency=True)
+    assert oracle_consistency(model) == []
+
+
+@given(a=sparse_square_matrices(max_n=12), data=st.data())
+def test_finegrain_decode_agrees_on_both_nets(a, data):
+    """With consistency pins, the x- and y-vector decode coincide by
+    construction for *any* partition of the vertices."""
+    model = build_finegrain_model(a, consistency=True)
+    nv = model.hypergraph.num_vertices
+    part = data.draw(partitions_of(nv, 3))
+    assert oracle_consistency(model, part) == []
+
+
+# ----------------------------------------------------------------------
+# file-format round-trips (empty nets included)
+# ----------------------------------------------------------------------
+def _assert_same_hypergraph(h2, h):
+    assert h2.num_vertices == h.num_vertices
+    assert h2.num_nets == h.num_nets
+    assert np.array_equal(h2.xpins, h.xpins)
+    assert np.array_equal(h2.pins, h.pins)
+    assert np.array_equal(h2.vertex_weights, h.vertex_weights)
+    assert np.array_equal(h2.net_costs, h.net_costs)
+
+
+@given(h=hypergraphs(weighted=False, min_net_size=0))
+def test_patoh_roundtrip_unweighted(h):
+    buf = _io.StringIO()
+    write_patoh(h, buf)
+    buf.seek(0)
+    _assert_same_hypergraph(read_patoh(buf), h)
+
+
+@given(h=hypergraphs(weighted=True, min_net_size=0), base=st.sampled_from([0, 1]))
+def test_patoh_roundtrip_weighted(h, base):
+    buf = _io.StringIO()
+    write_patoh(h, buf, base=base)
+    buf.seek(0)
+    _assert_same_hypergraph(read_patoh(buf), h)
+
+
+@given(h=hypergraphs(weighted=False, min_net_size=0))
+def test_hmetis_roundtrip_unweighted(h):
+    buf = _io.StringIO()
+    write_hmetis(h, buf)
+    buf.seek(0)
+    _assert_same_hypergraph(read_hmetis(buf), h)
+
+
+@given(h=hypergraphs(weighted=True, min_net_size=0))
+def test_hmetis_roundtrip_weighted(h):
+    buf = _io.StringIO()
+    write_hmetis(h, buf)
+    buf.seek(0)
+    _assert_same_hypergraph(read_hmetis(buf), h)
+
+
+# ----------------------------------------------------------------------
+# shared-memory transport round-trip
+# ----------------------------------------------------------------------
+@settings(max_examples=15)  # each example creates a real shm segment
+@given(h=hypergraphs(weighted=True), data=st.data())
+def test_shm_roundtrip_every_slot(h, data):
+    if data.draw(st.booleans()):
+        from repro.hypergraph import Hypergraph
+
+        fixed = np.asarray(
+            data.draw(
+                st.lists(
+                    st.integers(-1, 2),
+                    min_size=h.num_vertices,
+                    max_size=h.num_vertices,
+                )
+            ),
+            dtype=np.int64,
+        )
+        h = Hypergraph(
+            h.num_vertices, h.xpins, h.pins,
+            vertex_weights=h.vertex_weights, net_costs=h.net_costs, fixed=fixed,
+        )
+    with h.to_shm() as handle:
+        h2 = type(h).from_shm(handle.meta)
+        for slot in (
+            "xpins", "pins", "xnets", "vnets",
+            "vertex_weights", "net_costs", "fixed",
+        ):
+            a, b = getattr(h, slot), getattr(h2, slot)
+            if a is None:
+                assert b is None, slot
+            else:
+                assert np.array_equal(a, b), slot
+                assert getattr(a, "dtype", None) == getattr(b, "dtype", None), slot
+
+
+# ----------------------------------------------------------------------
+# vectorized metrics == pure-Python oracles
+# ----------------------------------------------------------------------
+@given(h=hypergraphs(weighted=True), data=st.data())
+def test_vectorized_metrics_match_oracles(h, data):
+    k = data.draw(st.integers(min_value=1, max_value=4))
+    part = data.draw(partitions_of(h.num_vertices, k))
+    assert list(compute_part_weights(h, part, k)) == oracle_part_weights(h, part, k)
+    vec_sets = [set(s) for s in net_connectivity_sets(h, part)]
+    assert vec_sets == oracle_connectivity_sets(h, part)
+    assert list(net_connectivities(h, part)) == oracle_net_connectivities(h, part)
+    assert cutsize_connectivity(h, part) == oracle_cutsize_connectivity(h, part)
+    assert cutsize_cutnet(h, part) == oracle_cutsize_cutnet(h, part)

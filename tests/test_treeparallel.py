@@ -14,15 +14,13 @@ The two contracts under test:
 from __future__ import annotations
 
 import glob
-import hashlib
-import json
-import os
 
 import numpy as np
 import pytest
 import scipy.sparse as sp
 
 from tests.conftest import random_hypergraph
+from tests.golden import check_golden
 from repro._util import as_rng
 from repro.core.api import decompose
 from repro.hypergraph import Hypergraph
@@ -36,15 +34,6 @@ from repro.partitioner import (
 )
 from repro.partitioner.engine import _tree_workers
 from repro.partitioner.recursive import partition_recursive
-
-GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "golden_parts.json")
-
-with open(GOLDEN_PATH) as f:
-    GOLDEN = json.load(f)
-
-
-def _sig(part: np.ndarray) -> str:
-    return hashlib.sha256(np.asarray(part, dtype=np.int64).tobytes()).hexdigest()
 
 
 def _tree_cfg(workers: int, backend: str, **kw) -> PartitionerConfig:
@@ -186,9 +175,7 @@ TREE_GOLDEN_CASES = [
 def test_golden_tree_partitions(nv, nn, hseed, k, seed, workers, backend):
     h = random_hypergraph(as_rng(hseed), nv, nn)
     res = partition_hypergraph(h, k, _tree_cfg(workers, backend), seed=seed)
-    gold = GOLDEN[f"tree-{nv}x{nn}-s{hseed}-k{k}-seed{seed}"]
-    assert res.cutsize == gold["cutsize"]
-    assert _sig(res.part) == gold["sha256"]
+    check_golden(f"tree-{nv}x{nn}-s{hseed}-k{k}-seed{seed}", res.part, res.cutsize)
 
 
 # ----------------------------------------------------------------------
