@@ -43,6 +43,7 @@ from repro.core import (
     decomposition_from_finegrain,
     decomposition_from_row_partition,
 )
+from repro.errors import ReproFormatError
 from repro.hypergraph import Hypergraph, Partition
 from repro.partitioner import (
     PartitionerConfig,
@@ -71,6 +72,7 @@ __all__ = [
     "decomposition_from_row_partition",
     "Hypergraph",
     "Partition",
+    "ReproFormatError",
     "PartitionerConfig",
     "PartitionResult",
     "StartStat",

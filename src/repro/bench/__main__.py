@@ -34,6 +34,12 @@ verify
 Common options: ``--scale`` (matrix size factor, default 0.125 so a laptop
 finishes in minutes; 1.0 reproduces the original sizes), ``--ks``,
 ``--seeds``, ``--matrices``, ``--epsilon``.
+
+The table sweeps (``table2`` / ``summary`` / ``experiments``) accept
+``--checkpoint DIR`` to keep one engine checkpoint file per
+(matrix, K, model, seed) cell; a killed sweep rerun with ``--resume``
+completes at the cell — and the start — where it died (see
+``docs/resilience.md``).
 """
 
 from __future__ import annotations
@@ -86,6 +92,14 @@ def _parse(argv):
     p.add_argument("--profile-json", default=None,
                    help="with --profile, also write the per-instance phase "
                         "times and counters to this JSON file")
+    p.add_argument("--checkpoint", default=None, metavar="DIR",
+                   help="table2/summary/experiments: keep one engine "
+                        "checkpoint file per (matrix, K, model, seed) cell "
+                        "in DIR so a killed sweep can be resumed")
+    p.add_argument("--resume", action="store_true",
+                   help="with --checkpoint, resume a previously "
+                        "interrupted sweep instead of clearing its "
+                        "checkpoint files")
     return p.parse_args(argv)
 
 
@@ -207,6 +221,9 @@ def main(argv=None) -> int:
         _run_models2d(matrices, args)
         return 0
 
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint DIR", file=sys.stderr)
+        return 2
     cfg = PartitionerConfig(epsilon=args.epsilon)
     results = run_table2(
         matrices,
@@ -215,6 +232,8 @@ def main(argv=None) -> int:
         config=cfg,
         progress=lambda s: print(f"  running {s}", file=sys.stderr),
         profile=args.profile,
+        checkpoint_dir=args.checkpoint,
+        resume=args.resume,
     )
     if args.command == "table2":
         print(

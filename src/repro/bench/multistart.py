@@ -25,6 +25,24 @@ from dataclasses import asdict
 from repro._util import Timer
 from repro.core.api import decompose
 from repro.partitioner import PartitionerConfig
+from repro.telemetry import TelemetryRecorder, use_recorder
+
+#: recovery activity that would silently pollute a timing row — recorded
+#: per engine run so a benchmark that survived retries or worker
+#: restarts says so machine-readably instead of passing as clean
+_RESILIENCE_COUNTERS = (
+    "engine.start_retries",
+    "engine.worker_restarts",
+    "engine.backend_fallbacks",
+    "engine.deadline_hits",
+    "engine.degraded_runs",
+    "engine.starts_resumed",
+)
+
+
+def _recovery_counters(rec: TelemetryRecorder) -> dict:
+    totals = rec.counter_totals()
+    return {k: int(totals[k]) for k in _RESILIENCE_COUNTERS if k in totals}
 
 __all__ = ["BENCH_INSTANCES", "run_multistart_bench", "write_multistart_bench"]
 
@@ -111,7 +129,11 @@ def run_multistart_bench(
         if progress:
             progress(f"{key}: engine serial n_starts={n_starts}")
         cfg_serial = PartitionerConfig(n_starts=n_starts, start_backend="serial")
-        r_serial = decompose(a, k, method="finegrain", config=cfg_serial, seed=seed)
+        rec_serial = TelemetryRecorder()
+        with use_recorder(rec_serial):
+            r_serial = decompose(
+                a, k, method="finegrain", config=cfg_serial, seed=seed
+            )
 
         # multi-start engine, process backend with n_workers
         if progress:
@@ -119,7 +141,11 @@ def run_multistart_bench(
         cfg_proc = PartitionerConfig(
             n_starts=n_starts, n_workers=n_workers, start_backend="process"
         )
-        r_proc = decompose(a, k, method="finegrain", config=cfg_proc, seed=seed)
+        rec_proc = TelemetryRecorder()
+        with use_recorder(rec_proc):
+            r_proc = decompose(a, k, method="finegrain", config=cfg_proc, seed=seed)
+        recovery_serial = _recovery_counters(rec_serial)
+        recovery_proc = _recovery_counters(rec_proc)
 
         base = baseline.get("matrices", {}).get(key, {})
         base_secs = base.get("seconds_4_sequential_starts")
@@ -138,6 +164,9 @@ def run_multistart_bench(
             "process_oversubscribed": oversubscribed,
             "start_stats": [asdict(s) for s in r_serial.start_stats],
             "process_start_stats": [asdict(s) for s in r_proc.start_stats],
+            "engine_serial_recovery": recovery_serial,
+            "engine_process_recovery": recovery_proc,
+            "clean_run": not (recovery_serial or recovery_proc),
         }
         if base_secs:
             row["kernel_speedup"] = round(base_secs / t_seq.elapsed, 2)
@@ -195,6 +224,11 @@ def run_multistart_bench(
         "fixed seed (verified by tests/data/golden_parts.json replay in "
         "the test suite); start 0 of a multi-start run replays that same "
         "stream, so engine cuts are never worse than single-start cuts.",
+        "engine_*_recovery record the resilience-runtime counters "
+        "(retries, worker restarts, backend fallbacks, ...) observed "
+        "during each timed engine run; clean_run=false means a timing "
+        "row includes recovery work and should not be compared against "
+        "clean rows.",
     ]
     return out
 

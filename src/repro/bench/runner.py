@@ -8,6 +8,7 @@ which is what this runner measures via :mod:`repro.spmv`.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -90,12 +91,20 @@ def run_instance(
     config: PartitionerConfig | None = None,
     base_seed: int = 0,
     profile: bool = False,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> InstanceResult:
     """Run one decomposition instance averaged over ``n_seeds`` seeds.
 
     With ``profile=True`` the seeds run under a telemetry recorder and the
     result row carries a per-phase time breakdown (mean seconds per seed)
     plus the aggregated counters.
+
+    With ``checkpoint_dir`` set, every (matrix, K, model, seed) cell keeps
+    its own engine checkpoint file there, so a killed sweep can be rerun
+    with ``resume=True`` and complete at the cell — and, inside a
+    multi-start cell, the start — where it died.  Without ``resume``, a
+    stale checkpoint file from an earlier sweep is cleared first.
     """
     if model not in MODELS:
         raise KeyError(f"unknown model {model!r}; choose from {sorted(MODELS)}")
@@ -104,9 +113,23 @@ def run_instance(
     tots, maxs, msgs, times, imbs, cuts = [], [], [], [], [], []
     rec = TelemetryRecorder() if profile else None
 
+    def _cell_config(s: int) -> PartitionerConfig | None:
+        if checkpoint_dir is None:
+            return config
+        os.makedirs(checkpoint_dir, exist_ok=True)
+        path = os.path.join(
+            checkpoint_dir,
+            f"{matrix_name}_{model}_K{k}_s{base_seed + s}.ndjson",
+        )
+        if not resume and os.path.exists(path):
+            os.remove(path)
+        return (config or PartitionerConfig()).with_(checkpoint_path=path)
+
     def one_seed(s: int) -> None:
         with Timer("bench.seed", seed=base_seed + s) as t:
-            r = decompose(a, k, method=method, config=config, seed=base_seed + s)
+            r = decompose(
+                a, k, method=method, config=_cell_config(s), seed=base_seed + s
+            )
         stats = communication_stats(r.decomposition)
         tots.append(stats.total_volume / m)
         maxs.append(stats.max_volume / m)
@@ -156,6 +179,8 @@ def run_matrix_instances(
     base_seed: int = 0,
     progress: Callable[[str], None] | None = None,
     profile: bool = False,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> list[InstanceResult]:
     """All (K, model) instances of one matrix."""
     out: list[InstanceResult] = []
@@ -166,7 +191,8 @@ def run_matrix_instances(
             out.append(
                 run_instance(
                     a, matrix_name, k, model, n_seeds, config, base_seed,
-                    profile=profile,
+                    profile=profile, checkpoint_dir=checkpoint_dir,
+                    resume=resume,
                 )
             )
     return out
@@ -181,14 +207,18 @@ def run_table2(
     base_seed: int = 0,
     progress: Callable[[str], None] | None = None,
     profile: bool = False,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> list[InstanceResult]:
     """The full Table 2 sweep over the given matrices."""
+    if checkpoint_dir is not None:
+        os.makedirs(checkpoint_dir, exist_ok=True)
     out: list[InstanceResult] = []
     for name, a in matrices.items():
         out.extend(
             run_matrix_instances(
                 a, name, ks, models, n_seeds, config, base_seed, progress,
-                profile=profile,
+                profile=profile, checkpoint_dir=checkpoint_dir, resume=resume,
             )
         )
     return out

@@ -115,6 +115,21 @@ def _parse(argv):
     pp.add_argument("--verify", action="store_true",
                     help="audit the result with the independent oracles "
                          "before reporting; non-zero exit on failure")
+    pp.add_argument("--retries", type=int, default=None, metavar="N",
+                    help="retry a failed/crashed engine start up to N times "
+                         "with backoff (retries re-derive the original seed: "
+                         "bit-identical results)")
+    pp.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                    help="wall-clock budget for the multi-start sweep; past "
+                         "it the best completed start is returned (marked "
+                         "degraded) instead of raising")
+    pp.add_argument("--checkpoint", default=None, metavar="PATH",
+                    help="crash-resumable sweep checkpoint (NDJSON, written "
+                         "atomically after every completed start)")
+    pp.add_argument("--resume", action="store_true",
+                    help="resume a previous sweep from --checkpoint (skips "
+                         "the recorded starts); without this flag an "
+                         "existing checkpoint file is cleared first")
 
     ps = sub.add_parser("spmv", help="simulate a distributed multiply")
     ps.add_argument("matrix")
@@ -162,11 +177,23 @@ def _parse(argv):
 
 def _config_from_args(args) -> PartitionerConfig:
     """Build the partitioner config from common CLI options."""
+    import os
+
     kwargs = {}
     if getattr(args, "tree_parallel", False):
         # only force the knob when the flag is given, so the
         # REPRO_TREE_PARALLEL env default still applies otherwise
         kwargs["tree_parallel"] = True
+    if getattr(args, "retries", None) is not None:
+        kwargs["max_retries"] = args.retries
+    if getattr(args, "deadline", None) is not None:
+        kwargs["deadline"] = args.deadline
+    checkpoint = getattr(args, "checkpoint", None)
+    if checkpoint:
+        if not getattr(args, "resume", False) and os.path.exists(checkpoint):
+            # a fresh sweep must not silently resume yesterday's file
+            os.remove(checkpoint)
+        kwargs["checkpoint_path"] = checkpoint
     return PartitionerConfig(
         epsilon=args.epsilon,
         n_starts=getattr(args, "starts", 1),
@@ -299,6 +326,8 @@ def main(argv=None) -> int:
             f"scaled: tot={stats.scaled_total_volume:.3f} "
             f"max={stats.scaled_max_volume:.3f}"
         )
+        if res is not None and res.degraded:
+            print(f"degraded: {res.degraded_reason}")
         if args.verify:
             from repro.verify import check_decomposition, verify_decompose
 

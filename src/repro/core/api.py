@@ -213,6 +213,12 @@ class DecomposeResult:
     runtime: float
     #: per-start engine statistics (empty unless ``n_starts > 1``)
     start_stats: list = field(default_factory=list)
+    #: True when the engine stopped early under a resilience policy (a
+    #: ``deadline`` expired before every start ran); the decomposition is
+    #: still valid — just not the full best-of-N
+    degraded: bool = False
+    #: human-readable reason when ``degraded``
+    degraded_reason: str | None = None
     #: the underlying partitioner result object
     info: PartitionResult | GraphPartitionResult | None = None
     #: oracle audit of this result (``decompose(..., verify=True)`` or
@@ -222,10 +228,11 @@ class DecomposeResult:
     def summary(self) -> str:
         """One-line human-readable summary."""
         starts = f" starts={len(self.start_stats)}" if self.start_stats else ""
+        tail = " [degraded]" if self.degraded else ""
         return (
             f"method={self.method} K={self.k} cutsize={self.cutsize} "
             f"imbalance={100 * self.imbalance:.2f}%{starts} "
-            f"time={self.runtime:.2f}s"
+            f"time={self.runtime:.2f}s{tail}"
         )
 
 
@@ -239,6 +246,9 @@ def decompose(
     n_workers: int | None = None,
     early_stop_cut: int | None = None,
     tree_parallel: bool | None = None,
+    deadline: float | None = None,
+    checkpoint_path: str | None = None,
+    max_retries: int | None = None,
     verify: bool | None = None,
     **method_kwargs,
 ) -> DecomposeResult:
@@ -262,6 +272,13 @@ def decompose(
         engine).  ``n_workers`` is the one shared budget: starts and
         tree-parallel subtrees together never occupy more workers than
         this.
+    deadline, checkpoint_path, max_retries:
+        Convenience overrides for the resilience fields of *config* (see
+        :mod:`repro.partitioner.resilience`): a graceful wall-clock
+        budget in seconds (the best completed start is returned with
+        ``result.degraded`` set when it expires — never an exception once
+        one start finished), a crash-resumable sweep checkpoint path, and
+        the per-start retry budget.
     verify:
         Audit the result with the independent oracles of
         :mod:`repro.verify` before returning (balance, cutsize,
@@ -291,6 +308,9 @@ def decompose(
             ("n_workers", n_workers),
             ("early_stop_cut", early_stop_cut),
             ("tree_parallel", tree_parallel),
+            ("deadline", deadline),
+            ("checkpoint_path", checkpoint_path),
+            ("max_retries", max_retries),
         )
         if value is not None
     }
@@ -308,6 +328,8 @@ def decompose(
         imbalance=float(info.imbalance),
         runtime=t.elapsed,
         start_stats=list(getattr(info, "start_stats", [])),
+        degraded=bool(getattr(info, "degraded", False)),
+        degraded_reason=getattr(info, "degraded_reason", None),
         info=info,
     )
     if verify is None:

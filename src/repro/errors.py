@@ -1,0 +1,29 @@
+"""Library-wide exception types.
+
+Kept dependency-free so every subpackage can raise them without import
+cycles.  :class:`ReproFormatError` subclasses ``ValueError`` on purpose:
+callers that predate it (and the existing test suite) catch ``ValueError``
+for malformed inputs, and that contract must keep holding.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ReproFormatError"]
+
+
+class ReproFormatError(ValueError):
+    """A malformed or corrupt input file (MatrixMarket, PaToH, hMeTiS).
+
+    One exception type for every ingestion defect — out-of-range indices,
+    non-finite values, duplicate entries, unparseable tokens — always
+    carrying the source name and, when known, the 1-based line number, so
+    a failing multi-hour sweep names the offending file and line instead
+    of dying with a bare ``IndexError`` deep inside numpy.
+    """
+
+    def __init__(self, message: str, *, source: str | None = None,
+                 line: int | None = None) -> None:
+        self.source = source or "<stream>"
+        self.line = line
+        loc = self.source if line is None else f"{self.source}:{line}"
+        super().__init__(f"{loc}: {message}")

@@ -17,16 +17,24 @@ hMeTiS format::
     ... one line per vertex weight when fmt has vertices weighted
 
 fmt is omitted (unweighted), 1 (net costs), 10 (vertex weights) or 11 (both).
+
+Both readers validate as they parse: out-of-range pins, duplicate pins
+within a net, unparseable tokens and truncated files raise
+:class:`repro.errors.ReproFormatError` with file/line context.
+``repair=True`` drops out-of-range pins and dedups duplicate pins (first
+occurrence wins) with one summary warning instead.
 """
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 from typing import TextIO
 
 import numpy as np
 
 from repro._util import INDEX_DTYPE, prefix_from_counts
+from repro.errors import ReproFormatError
 from repro.hypergraph.hypergraph import Hypergraph
 
 __all__ = ["write_patoh", "read_patoh", "write_hmetis", "read_hmetis"]
@@ -36,6 +44,52 @@ def _open(path_or_file, mode: str):
     if isinstance(path_or_file, (str, Path)):
         return open(path_or_file, mode), True
     return path_or_file, False
+
+
+def _source_of(path_or_file, f) -> str:
+    if isinstance(path_or_file, (str, Path)):
+        return str(path_or_file)
+    return getattr(f, "name", None) or "<stream>"
+
+
+def _ints(text: str, source: str, lineno: int) -> list[int]:
+    """Parse a whitespace-separated integer line with location context."""
+    try:
+        return [int(t) for t in text.split()]
+    except ValueError:
+        raise ReproFormatError(
+            f"unparseable integer line {text!r}", source=source, line=lineno
+        ) from None
+
+
+def _check_net_pins(
+    pins: list[int], nv: int, net: int, source: str, lineno: int,
+    repair: bool,
+) -> tuple[list[int], int]:
+    """Validate one net's pin list; returns (clean pins, #repaired)."""
+    out: list[int] = []
+    seen: set[int] = set()
+    repaired = 0
+    for p in pins:
+        if p < 0 or p >= nv:
+            if not repair:
+                raise ReproFormatError(
+                    f"net {net}: pin {p} out of range [0, {nv})",
+                    source=source, line=lineno,
+                )
+            repaired += 1
+            continue
+        if p in seen:
+            if not repair:
+                raise ReproFormatError(
+                    f"net {net}: duplicate pin {p}", source=source,
+                    line=lineno,
+                )
+            repaired += 1
+            continue
+        seen.add(p)
+        out.append(p)
+    return out, repaired
 
 
 def _nonunit(arr: np.ndarray) -> bool:
@@ -64,35 +118,79 @@ def write_patoh(h: Hypergraph, path_or_file, base: int = 1) -> None:
             f.close()
 
 
-def read_patoh(path_or_file) -> Hypergraph:
-    """Read a hypergraph from PaToH text format."""
+def read_patoh(path_or_file, repair: bool = False) -> Hypergraph:
+    """Read a hypergraph from PaToH text format.
+
+    Malformed input raises :class:`~repro.errors.ReproFormatError` with
+    file/line context; ``repair=True`` drops out-of-range and duplicate
+    pins with one summary warning instead.
+    """
     f, close = _open(path_or_file, "r")
+    source = _source_of(path_or_file, f)
     try:
-        tokens = _tokenize(f)
-        header = next(tokens.lines).split()
+        tokens = _tokenize(f, source)
+        try:
+            header_line = next(tokens.lines)
+        except StopIteration:
+            raise ReproFormatError("empty file", source=source) from None
+        header = _ints(header_line, source, tokens.lineno)
         if len(header) < 4:
-            raise ValueError("malformed PaToH header")
-        base, nv, nn, npins = (int(t) for t in header[:4])
-        flag = int(header[4]) if len(header) > 4 else 0
+            raise ReproFormatError(
+                "malformed PaToH header (need base |V| |N| |pins|)",
+                source=source, line=tokens.lineno,
+            )
+        base, nv, nn, npins = header[:4]
+        flag = header[4] if len(header) > 4 else 0
+        if nv < 0 or nn < 0 or npins < 0:
+            raise ReproFormatError(
+                "header counts must be non-negative",
+                source=source, line=tokens.lineno,
+            )
         wv, wn = bool(flag & 1), bool(flag & 2)
         netlists: list[list[int]] = []
         costs: list[int] = []
         seen = 0
+        repaired = 0
         # PaToH is line-oriented: one net per line (blank = empty net)
-        for _ in range(nn):
-            parts = [int(t) for t in tokens.net_line().split()]
+        for net in range(nn):
+            parts = _ints(tokens.net_line(), source, tokens.lineno)
             if wn:
+                if not parts:
+                    raise ReproFormatError(
+                        f"net {net}: missing cost", source=source,
+                        line=tokens.lineno,
+                    )
                 costs.append(parts[0])
                 parts = parts[1:]
-            netlists.append([p - base for p in parts])
             seen += len(parts)
+            pins_net, fixed = _check_net_pins(
+                [p - base for p in parts], nv, net, source, tokens.lineno,
+                repair,
+            )
+            repaired += fixed
+            netlists.append(pins_net)
         if seen != npins:
-            raise ValueError(f"pin count mismatch: header says {npins}, read {seen}")
+            raise ReproFormatError(
+                f"pin count mismatch: header says {npins}, read {seen}",
+                source=source,
+            )
+        if repaired:
+            warnings.warn(
+                f"{source}: repaired {repaired} defective pins "
+                "(out-of-range/duplicates dropped)",
+                stacklevel=2,
+            )
         weights = None
         if wv:
             wtoks: list[int] = []
             while len(wtoks) < nv:
-                wtoks.extend(int(t) for t in next(tokens.lines).split())
+                try:
+                    wtoks.extend(_ints(next(tokens.lines), source, tokens.lineno))
+                except StopIteration:
+                    raise ReproFormatError(
+                        f"expected {nv} vertex weights, read {len(wtoks)}",
+                        source=source,
+                    ) from None
             weights = np.asarray(wtoks[:nv], dtype=INDEX_DTYPE)
         xpins = prefix_from_counts([len(n) for n in netlists])
         pins = (
@@ -138,30 +236,78 @@ def write_hmetis(h: Hypergraph, path_or_file) -> None:
             f.close()
 
 
-def read_hmetis(path_or_file) -> Hypergraph:
-    """Read a hypergraph from hMeTiS text format."""
+def read_hmetis(path_or_file, repair: bool = False) -> Hypergraph:
+    """Read a hypergraph from hMeTiS text format.
+
+    Malformed input raises :class:`~repro.errors.ReproFormatError` with
+    file/line context; ``repair=True`` drops out-of-range and duplicate
+    pins with one summary warning instead.
+    """
     f, close = _open(path_or_file, "r")
+    source = _source_of(path_or_file, f)
     try:
-        tokens = _tokenize(f)
-        header = next(tokens.lines).split()
-        nn, nv = int(header[0]), int(header[1])
+        tokens = _tokenize(f, source)
+        try:
+            header = next(tokens.lines).split()
+        except StopIteration:
+            raise ReproFormatError("empty file", source=source) from None
+        if len(header) < 2:
+            raise ReproFormatError(
+                "malformed hMeTiS header (need |N| |V| [fmt])",
+                source=source, line=tokens.lineno,
+            )
+        try:
+            nn, nv = int(header[0]), int(header[1])
+        except ValueError:
+            raise ReproFormatError(
+                f"unparseable hMeTiS header {' '.join(header)!r}",
+                source=source, line=tokens.lineno,
+            ) from None
+        if nn < 0 or nv < 0:
+            raise ReproFormatError(
+                "header counts must be non-negative",
+                source=source, line=tokens.lineno,
+            )
         fmt = header[2] if len(header) > 2 else "0"
         wn = fmt in ("1", "11")
         wv = fmt in ("10", "11")
         netlists: list[list[int]] = []
         costs: list[int] = []
-        for _ in range(nn):
-            parts = [int(t) for t in tokens.net_line().split()]
+        repaired = 0
+        for net in range(nn):
+            parts = _ints(tokens.net_line(), source, tokens.lineno)
             if wn:
+                if not parts:
+                    raise ReproFormatError(
+                        f"net {net}: missing cost", source=source,
+                        line=tokens.lineno,
+                    )
                 costs.append(parts[0])
                 parts = parts[1:]
-            netlists.append([p - 1 for p in parts])
+            pins_net, fixed = _check_net_pins(
+                [p - 1 for p in parts], nv, net, source, tokens.lineno,
+                repair,
+            )
+            repaired += fixed
+            netlists.append(pins_net)
+        if repaired:
+            warnings.warn(
+                f"{source}: repaired {repaired} defective pins "
+                "(out-of-range/duplicates dropped)",
+                stacklevel=2,
+            )
         weights = None
         if wv:
-            weights = np.asarray(
-                [int(next(tokens.lines).split()[0]) for _ in range(nv)],
-                dtype=INDEX_DTYPE,
-            )
+            wlist = []
+            for _ in range(nv):
+                try:
+                    wlist.append(_ints(next(tokens.lines), source, tokens.lineno)[0])
+                except StopIteration:
+                    raise ReproFormatError(
+                        f"expected {nv} vertex weights, read {len(wlist)}",
+                        source=source,
+                    ) from None
+            weights = np.asarray(wlist, dtype=INDEX_DTYPE)
         xpins = prefix_from_counts([len(n) for n in netlists])
         pins = (
             np.concatenate([np.asarray(n, dtype=INDEX_DTYPE) for n in netlists])
@@ -189,8 +335,11 @@ class _TokenStream:
     by one).
     """
 
-    def __init__(self, f: TextIO) -> None:
+    def __init__(self, f: TextIO, source: str = "<stream>") -> None:
         self._f = f
+        self.source = source
+        #: 1-based number of the line most recently yielded
+        self.lineno = 0
         self.lines = self._line_iter()
 
     def _line_iter(self):
@@ -198,6 +347,7 @@ class _TokenStream:
             line = self._f.readline()
             if not line:
                 return
+            self.lineno += 1
             s = line.strip()
             if not s or s.startswith("%") or s.startswith("#"):
                 continue
@@ -208,12 +358,16 @@ class _TokenStream:
         while True:
             line = self._f.readline()
             if not line:
-                raise ValueError("unexpected end of file inside net block")
+                raise ReproFormatError(
+                    "unexpected end of file inside net block",
+                    source=self.source, line=self.lineno,
+                )
+            self.lineno += 1
             s = line.strip()
             if s.startswith("%") or s.startswith("#"):
                 continue
             return s
 
 
-def _tokenize(f: TextIO) -> _TokenStream:
-    return _TokenStream(f)
+def _tokenize(f: TextIO, source: str = "<stream>") -> _TokenStream:
+    return _TokenStream(f, source)

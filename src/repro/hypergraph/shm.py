@@ -32,7 +32,12 @@ from repro.hypergraph.hypergraph import Hypergraph
 from repro.telemetry import get_recorder
 from repro.verify.faults import trip as _fault_trip
 
-__all__ = ["SharedHypergraph", "hypergraph_to_shm", "hypergraph_from_shm"]
+__all__ = [
+    "SharedHypergraph",
+    "HeartbeatBoard",
+    "hypergraph_to_shm",
+    "hypergraph_from_shm",
+]
 
 #: Hypergraph array slots shipped through the segment, in packing order.
 _ARRAY_SLOTS = (
@@ -108,6 +113,80 @@ class SharedHypergraph:
                 get_recorder().add("shm.unlink_errors")
 
     def __enter__(self) -> "SharedHypergraph":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # last-resort safety net; close() is the API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class HeartbeatBoard:
+    """One ``float64`` monotonic-clock timestamp per worker, in shared memory.
+
+    The supervision layer of :mod:`repro.partitioner.resilience` uses this
+    as its liveness channel: each supervised worker's heartbeat thread
+    stamps its slot every ``heartbeat_interval`` seconds and the parent
+    reads the slots without any syscall traffic — ``CLOCK_MONOTONIC`` is
+    system-wide on the platforms we run on, so parent and child timestamps
+    are directly comparable.  Same ownership contract as
+    :class:`SharedHypergraph`: the creating side closes *and* unlinks,
+    workers attach with tracking disabled and only close.
+    """
+
+    def __init__(self, shm, n_slots: int, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self.name = shm.name
+        self.slots = np.ndarray((n_slots,), dtype=np.float64, buffer=shm.buf)
+
+    @classmethod
+    def create(cls, n_slots: int) -> "HeartbeatBoard":
+        """Allocate a zeroed board for *n_slots* workers (owner side)."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=8 * max(n_slots, 1))
+        board = cls(shm, n_slots, owner=True)
+        board.slots[:] = 0.0
+        return board
+
+    @classmethod
+    def attach(cls, name: str, n_slots: int) -> "HeartbeatBoard":
+        """Map an existing board without taking ownership (worker side)."""
+        return cls(_attach(name), n_slots, owner=False)
+
+    def beat(self, slot: int) -> None:
+        """Stamp *slot* with the current monotonic time."""
+        import time
+
+        self.slots[slot] = time.monotonic()
+
+    def last_beat(self, slot: int) -> float:
+        """Newest stamp of *slot* (0.0 if the worker never beat)."""
+        return float(self.slots[slot])
+
+    def close(self) -> None:
+        """Release the mapping; the owner also unlinks (idempotent)."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        self.slots = None
+        try:
+            shm.close()
+        finally:
+            if self._owner:
+                try:
+                    shm.unlink()
+                except FileNotFoundError:
+                    pass
+                except OSError:
+                    get_recorder().add("shm.unlink_errors")
+
+    def __enter__(self) -> "HeartbeatBoard":
         return self
 
     def __exit__(self, *exc) -> None:

@@ -148,6 +148,60 @@ class PartitionerConfig:
     #: with parallel workers the set of completed starts may vary from run
     #: to run.
     early_stop_cut: int | None = None
+    #: how many times a failed/crashed engine start (or spawned subtree
+    #: task) is retried before giving up.  A retried start re-derives its
+    #: original seed, so retries never move the bits — they only buy
+    #: wall-clock robustness.  ``0`` preserves the pre-resilience behavior
+    #: (first failure triggers the backend fallback chain).
+    #: Env-overridable default: ``REPRO_MAX_RETRIES``.
+    max_retries: int = field(default_factory=lambda: _env_int("REPRO_MAX_RETRIES", 0))
+    #: first retry delay in seconds; attempt ``a`` waits
+    #: ``min(backoff_cap, backoff_base * 2**a)`` with deterministic jitter
+    #: (see :func:`repro.partitioner.resilience.backoff_delay`).
+    #: Env-overridable default: ``REPRO_BACKOFF_BASE``.
+    backoff_base: float = field(
+        default_factory=lambda: _env_float("REPRO_BACKOFF_BASE", 0.05) or 0.05
+    )
+    #: upper bound on a single backoff delay in seconds.
+    #: Env-overridable default: ``REPRO_BACKOFF_CAP``.
+    backoff_cap: float = field(
+        default_factory=lambda: _env_float("REPRO_BACKOFF_CAP", 2.0) or 2.0
+    )
+    #: wall-clock budget in seconds for one multi-start engine call
+    #: (``None`` = unlimited).  Graceful degradation, never an exception:
+    #: past the deadline no new starts launch, the best completed start is
+    #: returned with ``PartitionResult.degraded`` set, and at least one
+    #: start always runs.  Env-overridable default: ``REPRO_DEADLINE``.
+    deadline: float | None = field(
+        default_factory=lambda: _env_float("REPRO_DEADLINE", None)
+    )
+    #: path of the engine's crash-resumable sweep checkpoint (``None``
+    #: disables).  After every completed start the file is atomically
+    #: rewritten (tmp + ``os.replace``); a rerun with the same
+    #: configuration, seed and path skips the recorded starts.  Requires
+    #: ``n_starts > 1`` and an explicit seed to be useful.
+    #: Env-overridable default: ``REPRO_CHECKPOINT``.
+    checkpoint_path: str | None = field(
+        default_factory=lambda: os.environ.get("REPRO_CHECKPOINT") or None
+    )
+    #: supervise process-backend engine workers: heartbeat timestamps in a
+    #: small shared-memory segment, dead/hung workers are killed and
+    #: respawned, their in-flight seeds re-queued (``engine.worker_restarts``
+    #: telemetry).  Off falls back to the plain executor transport.
+    #: Env-overridable default: ``REPRO_SUPERVISE``.
+    supervise: bool = field(default_factory=lambda: _env_bool("REPRO_SUPERVISE", True))
+    #: seconds between heartbeat writes of a supervised worker.
+    #: Env-overridable default: ``REPRO_HEARTBEAT_INTERVAL``.
+    heartbeat_interval: float = field(
+        default_factory=lambda: _env_float("REPRO_HEARTBEAT_INTERVAL", 0.25) or 0.25
+    )
+    #: a supervised worker whose newest heartbeat (or task dispatch) is
+    #: older than this many seconds while a start is in flight is presumed
+    #: hung: it is killed, respawned and its seed re-queued.
+    #: Env-overridable default: ``REPRO_HEARTBEAT_TIMEOUT``.
+    heartbeat_timeout: float = field(
+        default_factory=lambda: _env_float("REPRO_HEARTBEAT_TIMEOUT", 30.0) or 30.0
+    )
 
     def __post_init__(self) -> None:
         if self.epsilon < 0:
@@ -172,6 +226,16 @@ class PartitionerConfig:
             raise ValueError("early_stop_cut must be non-negative")
         if self.tree_task_timeout is not None and self.tree_task_timeout <= 0:
             raise ValueError("tree_task_timeout must be positive (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff_base and backoff_cap must be >= 0")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+        if self.heartbeat_interval <= 0 or self.heartbeat_timeout <= 0:
+            raise ValueError(
+                "heartbeat_interval and heartbeat_timeout must be positive"
+            )
 
     def with_(self, **kwargs) -> "PartitionerConfig":
         """Return a copy with the given fields replaced."""

@@ -46,12 +46,20 @@ class PartitionResult:
     #: (:func:`repro.partitioner.partition_multistart` with ``n_starts > 1``);
     #: empty for the single-start pipeline
     start_stats: list = field(default_factory=list)
+    #: True when the engine returned early under a resilience policy (for
+    #: now: a ``deadline`` stopped the sweep before every start ran); the
+    #: partition is still valid — just not the full best-of-N
+    degraded: bool = False
+    #: human-readable reason when ``degraded`` (e.g. which starts never ran)
+    degraded_reason: str | None = None
 
     def summary(self) -> str:
         """One-line human-readable summary."""
+        tail = " [degraded]" if self.degraded else ""
         return (
             f"K={self.k} cutsize={self.cutsize} "
             f"imbalance={100 * self.imbalance:.2f}% time={self.runtime:.2f}s"
+            f"{tail}"
         )
 
 

@@ -36,19 +36,26 @@ For ``n_starts > 1`` the per-start seeds and the winner are deterministic
 functions of the engine seed regardless of backend; ``early_stop_cut``
 trades that determinism (the set of completed starts becomes timing-
 dependent under parallel backends) for time.
+
+Resilience: execution is delegated to
+:mod:`repro.partitioner.resilience` — retry with backoff for failed
+starts, worker supervision (heartbeats, kill/respawn/re-queue) for the
+process backend, a graceful ``cfg.deadline`` budget, and crash-resumable
+sweeps via ``cfg.checkpoint_path``.  None of it moves the bits: retried
+and resumed starts re-derive their original seeds.
 """
 
 from __future__ import annotations
 
 import copy
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro._util import Timer, as_rng
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.partitioner import resilience
 from repro.partitioner.config import PartitionerConfig
 from repro.partitioner.driver import PartitionResult, partition_hypergraph
 from repro.telemetry import get_recorder
@@ -73,6 +80,9 @@ class StartStat:
     imbalance: float
     #: wall-clock seconds of the start
     runtime: float
+    #: retries the start needed before completing (0 for a clean start;
+    #: resumed starts report the count recorded in the checkpoint)
+    retries: int = 0
 
 
 def _run_start(
@@ -127,14 +137,6 @@ def _tree_workers(cfg: PartitionerConfig, backend: str) -> int:
     return max(1, cfg.n_workers // occupied)
 
 
-def _hits_target(res: PartitionResult, cfg: PartitionerConfig) -> bool:
-    return (
-        cfg.early_stop_cut is not None
-        and res.cutsize <= cfg.early_stop_cut
-        and res.imbalance <= cfg.epsilon
-    )
-
-
 def partition_multistart(
     h: Hypergraph,
     k: int,
@@ -163,154 +165,98 @@ def partition_multistart(
     (1, 3)
     """
     cfg = config or PartitionerConfig()
-    if cfg.n_starts == 1:
+    # the single-start shortcut must not skip the checkpoint layer: a
+    # checkpointed n_starts=1 sweep still goes through the engine (start 0
+    # replays the single-start stream, so the bits are identical)
+    if cfg.n_starts == 1 and not cfg.checkpoint_path:
         return partition_hypergraph(h, k, cfg, seed)
 
     rng = as_rng(seed)
+    # the fingerprint hashes the RNG state *before* any draws so a rerun
+    # with the same explicit seed identifies the same sweep
+    fingerprint = None
+    if cfg.checkpoint_path:
+        fingerprint = resilience.sweep_fingerprint(h, k, cfg, rng)
     # start 0 replays the pristine engine RNG (the legacy single-start
     # stream); later starts get independent integer seeds drawn after the
     # copy, so no start's consumption perturbs another's
     seeds: list[int | np.random.Generator] = [copy.deepcopy(rng)]
     seeds += [int(s) for s in rng.integers(0, 2**31 - 1, size=cfg.n_starts - 1)]
     backend = _resolve_backend(cfg)
+    # a start never inherits the sweep-level resilience knobs: the engine
+    # owns the deadline and the checkpoint, not the inner pipelines
     single = cfg.with_(
-        n_starts=1, n_workers=_tree_workers(cfg, backend), early_stop_cut=None
+        n_starts=1,
+        n_workers=_tree_workers(cfg, backend),
+        early_stop_cut=None,
+        deadline=None,
+        checkpoint_path=None,
     )
 
     rec = get_recorder()
     with rec.span(
         "engine", n_starts=cfg.n_starts, backend=backend, k=k
     ) as esp, Timer() as timer:
-        if backend == "serial":
-            completed = _run_serial(h, k, single, seeds, cfg)
-        else:
-            completed = _run_parallel(h, k, single, seeds, cfg, backend)
+        outcome = resilience.run_starts(
+            h, k, single, seeds, cfg, backend, fingerprint=fingerprint
+        )
 
-        # deterministic winner: scan in start order, strict improvement only
+        # deterministic winner over fresh + checkpoint-resumed starts:
+        # scan in start order, strict improvement only
+        candidates = list(outcome.completed.items())
+        if outcome.resumed_best is not None:
+            candidates.append(outcome.resumed_best)
         best_i, best_res = -1, None
         best_key: tuple[float, int] | None = None
-        for i, res in sorted(completed.items()):
+        for i, res in sorted(candidates, key=lambda item: item[0]):
             key = (max(0.0, res.imbalance - cfg.epsilon), res.cutsize)
             if best_key is None or key < best_key:
                 best_i, best_res, best_key = i, res, key
         assert best_res is not None
 
-        stats = [
-            StartStat(
-                start=i,
-                seed=seeds[i] if isinstance(seeds[i], int) else -1,
-                cutsize=res.cutsize,
-                imbalance=res.imbalance,
-                runtime=res.runtime,
-            )
-            for i, res in sorted(completed.items())
-        ]
+        stats = []
+        for i in sorted(set(outcome.completed) | set(outcome.resumed)):
+            if i in outcome.completed:
+                res = outcome.completed[i]
+                stats.append(
+                    StartStat(
+                        start=i,
+                        seed=seeds[i] if isinstance(seeds[i], int) else -1,
+                        cutsize=res.cutsize,
+                        imbalance=res.imbalance,
+                        runtime=res.runtime,
+                        retries=outcome.retries.get(i, 0),
+                    )
+                )
+            else:
+                r = outcome.resumed[i]
+                stats.append(
+                    StartStat(
+                        start=r.start,
+                        seed=r.seed,
+                        cutsize=r.cutsize,
+                        imbalance=r.imbalance,
+                        runtime=r.runtime,
+                        retries=r.retries,
+                    )
+                )
         if rec.enabled:
-            rec.add("engine.starts", len(completed))
+            rec.add("engine.starts", len(stats))
             rec.add("engine.best_cut", best_res.cutsize)
             rec.add(
                 "engine.cut_spread",
                 max(s.cutsize for s in stats) - min(s.cutsize for s in stats),
             )
         esp.set(best_start=best_i, cutsize=best_res.cutsize)
+        if outcome.degraded_reason is not None:
+            best_res.degraded = True
+            best_res.degraded_reason = (
+                f"{outcome.degraded_reason}: starts {outcome.skipped} "
+                "never ran"
+            )
+            rec.add("engine.degraded_runs")
+            esp.set(degraded=outcome.degraded_reason)
 
     best_res.start_stats = stats
     best_res.runtime = timer.elapsed
     return best_res
-
-
-def _run_serial(
-    h: Hypergraph,
-    k: int,
-    single: PartitionerConfig,
-    seeds: list[int],
-    cfg: PartitionerConfig,
-) -> dict[int, PartitionResult]:
-    rec = get_recorder()
-    completed: dict[int, PartitionResult] = {}
-    for i, s in enumerate(seeds):
-        with rec.span(
-            "engine.start", start=i, seed=s if isinstance(s, int) else -1
-        ) as sp:
-            res = partition_hypergraph(h, k, single, s)
-            sp.set(cutsize=res.cutsize)
-        completed[i] = res
-        if _hits_target(res, cfg):
-            rec.add("engine.early_stops")
-            break
-    return completed
-
-
-def _run_parallel(
-    h: Hypergraph,
-    k: int,
-    single: PartitionerConfig,
-    seeds: list[int],
-    cfg: PartitionerConfig,
-    backend: str,
-) -> dict[int, PartitionResult]:
-    """Fan the starts out over an executor; falls back serial on failure.
-
-    The process backend ships the hypergraph once through shared memory
-    (``cfg.shm_transport``); the ``finally`` unlinks the segment on every
-    exit path — normal return, early stop, worker crash, backend fallback.
-    Per-start telemetry spans are lost under the process backend (workers
-    have their own recorders); the per-start runtimes survive in the
-    returned results.
-    """
-    rec = get_recorder()
-    shared = None
-    if backend == "process" and cfg.shm_transport:
-        try:
-            shared = h.to_shm()
-        except Exception:
-            # no usable /dev/shm (or equivalent): pickle transport instead
-            rec.add("engine.shm_fallbacks")
-            shared = None
-    try:
-        pool_kwargs = {"max_workers": min(cfg.n_workers, len(seeds))}
-        if shared is not None:
-            pool_kwargs.update(
-                initializer=_attach_worker, initargs=(shared.meta,)
-            )
-            rec.add("engine.shm_bytes", shared.nbytes)
-        pool = ProcessPoolExecutor if backend == "process" else ThreadPoolExecutor
-        try:
-            with pool(**pool_kwargs) as ex:
-                futures = {
-                    (
-                        ex.submit(_run_start_shm, k, single, s)
-                        if shared is not None
-                        else ex.submit(_run_start, h, k, single, s)
-                    ): i
-                    for i, s in enumerate(seeds)
-                }
-                completed: dict[int, PartitionResult] = {}
-                pending = set(futures)
-                stop = False
-                while pending and not stop:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for f in done:
-                        res = f.result()
-                        completed[futures[f]] = res
-                        if _hits_target(res, cfg):
-                            stop = True
-                    if stop:
-                        for f in pending:
-                            f.cancel()
-                        rec.add("engine.early_stops")
-                return completed
-        except (OSError, RuntimeError, ImportError) as exc:
-            # restricted environments can refuse process pools (no fork/sem);
-            # degrade gracefully rather than fail the partitioning call
-            rec.add("engine.backend_fallbacks")
-            if backend == "process":
-                try:
-                    return _run_parallel(h, k, single, seeds, cfg, "thread")
-                except (OSError, RuntimeError, ImportError):
-                    pass
-            del exc
-            return _run_serial(h, k, single, seeds, cfg)
-    finally:
-        if shared is not None:
-            shared.close()

@@ -30,6 +30,7 @@ to running the whole tree serially, at any worker count, on any backend.
 from __future__ import annotations
 
 import math
+import time
 from concurrent.futures import TimeoutError as _FutureTimeout
 
 import numpy as np
@@ -273,24 +274,42 @@ def _solve_node(
         )
 
         if fut is not None:
-            try:
-                part_r, cuts_r = fut.result(timeout=cfg.tree_task_timeout)
-            except _FutureTimeout:
-                # a stuck task (hung worker, injected sleep) is abandoned
-                # after cfg.tree_task_timeout seconds and recomputed inline;
-                # its budget slot frees whenever it eventually finishes
-                fut.cancel()
-                rec.add("tree.task_timeouts")
-                part_r, cuts_r = _solve_node(
-                    sub_r, k_r, cfg, entropy, path + (1,), fix_r, eps_b, None
-                )
-            except Exception:
-                # a dead worker (broken pool, crashed task) costs wall
-                # clock, never correctness: recompute the subtree inline
-                rec.add("tree.task_failures")
-                part_r, cuts_r = _solve_node(
-                    sub_r, k_r, cfg, entropy, path + (1,), fix_r, eps_b, None
-                )
+            # a stuck task is abandoned after cfg.tree_task_timeout seconds,
+            # a dead one (broken pool, crashed task) immediately; either
+            # way the subtree is re-offered to the pool up to
+            # cfg.max_retries times with backoff, then recomputed inline.
+            # The seed tree makes every path bit-identical.
+            attempt = 0
+            while True:
+                try:
+                    part_r, cuts_r = fut.result(timeout=cfg.tree_task_timeout)
+                    break
+                except _FutureTimeout:
+                    fut.cancel()  # the budget slot frees when it finishes
+                    rec.add("tree.task_timeouts")
+                except Exception:
+                    rec.add("tree.task_failures")
+                fut = None
+                if attempt < cfg.max_retries and sched is not None:
+                    from repro.partitioner.resilience import backoff_delay
+
+                    time.sleep(
+                        backoff_delay(
+                            cfg, attempt, salt=f"{entropy}:{_path_label(path)}"
+                        )
+                    )
+                    fut = sched.offer(
+                        len(path), sub_r.num_vertices, _solve_subtree,
+                        sub_r, k_r, cfg, entropy, path + (1,), fix_r, eps_b,
+                    )
+                attempt += 1
+                if fut is None:
+                    part_r, cuts_r = _solve_node(
+                        sub_r, k_r, cfg, entropy, path + (1,), fix_r, eps_b,
+                        None,
+                    )
+                    break
+                rec.add("tree.task_retries")
         else:
             part_r, cuts_r = _solve_node(
                 sub_r, k_r, cfg, entropy, path + (1,), fix_r, eps_b, sched

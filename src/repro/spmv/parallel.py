@@ -24,6 +24,7 @@ the decomposition *runs*, end to end, with real message passing.
 from __future__ import annotations
 
 import multiprocessing as mp
+import queue as queue_mod
 
 import numpy as np
 import scipy.sparse as sp
@@ -164,15 +165,45 @@ def _run_workers(
         procs.append(proc)
 
     y = np.zeros(dec.m, dtype=np.float64)
+    reported: set[int] = set()
     try:
         with rec.span("spmv.parallel.exec", workers=len(procs)):
             for _ in range(k):
-                rank, y_local = result_queue.get(timeout=timeout)
+                try:
+                    rank, y_local = result_queue.get(timeout=timeout)
+                except queue_mod.Empty:
+                    # name the culprits instead of surfacing a bare Empty:
+                    # a hung collective is a *which rank* question
+                    missing = sorted(set(range(k)) - reported)
+                    dead = sorted(
+                        p.rank for p, proc in zip(plan.processors, procs)
+                        if not proc.is_alive() and p.rank in missing
+                    )
+                    raise TimeoutError(
+                        f"parallel SpMV stalled: no result within {timeout}s; "
+                        f"missing ranks {missing}"
+                        + (f" (ranks {dead} died)" if dead else " (all alive)")
+                    ) from None
+                reported.add(rank)
                 for i, v in y_local.items():
                     y[i] = v
     finally:
+        # escalating shutdown: join politely, terminate stragglers, kill
+        # anything that survives SIGTERM (e.g. a rank wedged in a queue
+        # feeder); leaked children would hold the inbox pipes open forever
         for proc in procs:
             proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - defensive cleanup
+        for proc in procs:
+            if proc.is_alive():
+                rec.add("spmv.worker_killed")
                 proc.terminate()
+                proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive cleanup
+                proc.kill()
+                proc.join(timeout=5)
+        for q in inboxes:
+            q.close()
+            q.cancel_join_thread()
+        result_queue.close()
+        result_queue.cancel_join_thread()
     return y

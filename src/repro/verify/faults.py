@@ -39,6 +39,19 @@ A plan is a comma-separated list of ``site:action[@hit]`` specs::
     :func:`repro.partitioner.recursive._solve_subtree`, the subtree task
     body (exercises the inline-recompute path; combine ``sleep`` with
     ``PartitionerConfig.tree_task_timeout`` to exercise the timeout path).
+``worker.heartbeat``
+    The heartbeat loop of a supervised engine worker
+    (:mod:`repro.partitioner.resilience`), before each beat is written.
+    ``crash`` silently kills the heartbeat thread, so with a small
+    ``PartitionerConfig.heartbeat_timeout`` the supervisor presumes the
+    worker hung, kills it, respawns and re-queues its seed (exercises the
+    kill/respawn/re-queue path; fire it via the environment so worker
+    processes see it).
+``checkpoint.write``
+    :meth:`repro.partitioner.resilience.CheckpointStore` just before the
+    atomic ``os.replace`` — a failed checkpoint write must never fail the
+    partitioning run that produced it (absorbed and counted as
+    ``checkpoint.write_errors``).
 
 *Actions*: ``crash`` raises :class:`FaultInjected` (a ``RuntimeError``,
 so the existing degradation handlers catch it), ``oserror`` raises
@@ -91,6 +104,8 @@ KNOWN_SITES = frozenset(
         "shm.unlink",
         "pool.submit",
         "tree.task",
+        "worker.heartbeat",
+        "checkpoint.write",
     }
 )
 
