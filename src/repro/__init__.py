@@ -44,6 +44,7 @@ from repro.core import (
     decomposition_from_row_partition,
 )
 from repro.errors import ReproFormatError
+from repro.fingerprint import fingerprint
 from repro.hypergraph import Hypergraph, Partition
 from repro.partitioner import (
     PartitionerConfig,
@@ -73,6 +74,7 @@ __all__ = [
     "Hypergraph",
     "Partition",
     "ReproFormatError",
+    "fingerprint",
     "PartitionerConfig",
     "PartitionResult",
     "StartStat",

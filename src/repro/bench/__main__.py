@@ -30,6 +30,12 @@ verify
     seed-tree recursion), diff partitions bit for bit within each
     determinism universe, and write a JSON replay report.  Exits 1 on
     any divergence.
+serve
+    Boot a real ``repro serve`` daemon and drive it with a mixed
+    hit/miss/dedup workload from concurrent clients (plus one
+    deadline-degraded request and, with ``--faults``, one request that
+    must survive an injected worker crash); write BENCH_serve.json.
+    Exits 1 when any correctness check fails.
 
 Common options: ``--scale`` (matrix size factor, default 0.125 so a laptop
 finishes in minutes; 1.0 reproduces the original sizes), ``--ks``,
@@ -66,7 +72,7 @@ def _parse(argv):
         "command",
         choices=[
             "table1", "table2", "summary", "models2d", "experiments",
-            "multistart", "treeparallel", "verify",
+            "multistart", "treeparallel", "verify", "serve",
         ],
     )
     p.add_argument("--output", default="EXPERIMENTS.md",
@@ -100,6 +106,13 @@ def _parse(argv):
                    help="with --checkpoint, resume a previously "
                         "interrupted sweep instead of clearing its "
                         "checkpoint files")
+    p.add_argument("--clients", type=int, default=4,
+                   help="serve command: concurrent load-generator clients")
+    p.add_argument("--requests", type=int, default=8,
+                   help="serve command: distinct requests per phase")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="serve command: REPRO_FAULTS spec for the daemon "
+                        "(e.g. worker.heartbeat:crash@2)")
     return p.parse_args(argv)
 
 
@@ -170,6 +183,35 @@ def main(argv=None) -> int:
         write_treeparallel_bench(path, doc)
         print(f"wrote {path}")
         return 0
+
+    if args.command == "serve":
+        from repro.bench.serve import run_serve_bench, write_serve_bench
+
+        doc = run_serve_bench(
+            n_workers=args.workers,
+            n_clients=args.clients,
+            n_distinct=args.requests,
+            faults=args.faults,
+            progress=lambda s: print(f"  {s}", file=sys.stderr),
+        )
+        path = args.output if args.output != "EXPERIMENTS.md" else "BENCH_serve.json"
+        write_serve_bench(path, doc)
+        print(f"wrote {path}")
+        checks = doc["checks"]
+        ok = (
+            checks["hit_parts_identical"]
+            and checks["dedup_parts_identical"]
+            and checks["daemon_exit_code"] == 0
+            and not checks["shm_leaked"]
+            and not checks["errors"]
+            and checks["fault_survived"] is not False
+        )
+        print(
+            f"rps={doc['requests_per_sec']:.1f} "
+            f"hit_rate={doc['hit_rate']:.2f} "
+            f"degraded={checks['deadline_degraded']} checks={'OK' if ok else 'FAILED'}"
+        )
+        return 0 if ok else 1
 
     if args.command == "verify":
         from repro.verify import replay_decompose, write_replay_report

@@ -19,6 +19,14 @@ profile
     Run a full decomposition + simulated SpMV under a telemetry recorder;
     print the span tree, counter totals and the hottest phases, and
     optionally write an NDJSON trace / flat JSON summary.
+serve
+    Run the partitioning daemon: newline-delimited JSON over TCP and/or a
+    UNIX socket, scheduling decompositions over a bounded worker pool
+    behind a two-tier content-addressed result cache (``docs/serving.md``).
+    ``repro serve --stats ADDRESS`` queries a running daemon instead.
+query
+    One decomposition request against a running daemon (the client side
+    of ``serve``); repeated queries are answered from the daemon's cache.
 
 Matrices are given either as a MatrixMarket file path or as
 ``collection:<name>[@scale]`` referring to the built-in test set, e.g.
@@ -172,6 +180,64 @@ def _parse(argv):
                     help="write the flat JSON summary to this path")
     pf.add_argument("--no-spmv", action="store_true",
                     help="profile the partitioner only")
+
+    pd = sub.add_parser("serve", help="run the partitioning daemon")
+    pd.add_argument("--host", default="127.0.0.1")
+    pd.add_argument("--port", type=int, default=None, metavar="PORT",
+                    help="TCP listen port (0 = ephemeral, printed on the "
+                         "ready line); omit for UNIX-socket-only")
+    pd.add_argument("--unix", default=None, metavar="PATH",
+                    help="UNIX domain socket path to listen on")
+    pd.add_argument("--workers", type=int, default=2,
+                    help="compute slots: concurrent decompositions")
+    pd.add_argument("--queue-limit", type=int, default=64,
+                    help="queued requests beyond this are refused")
+    pd.add_argument("--per-client-limit", type=int, default=8,
+                    help="one client's in-flight request bound")
+    pd.add_argument("--cache-mem-mb", type=int, default=64,
+                    help="memory tier budget of the result cache (MiB)")
+    pd.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="disk tier directory (omit to disable)")
+    pd.add_argument("--cache-disk-mb", type=int, default=1024,
+                    help="disk tier budget (MiB)")
+    pd.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                    help="default per-request deadline (degraded-result "
+                         "SLO) for requests that carry none")
+    pd.add_argument("--max-starts", type=int, default=16,
+                    help="cap on per-request n_starts")
+    pd.add_argument("--max-engine-workers", type=int, default=4,
+                    help="cap on per-request engine workers")
+    pd.add_argument("--trace", default=None, metavar="PATH",
+                    help="append one NDJSON trace line per served request")
+    pd.add_argument("--allow-shutdown", action="store_true",
+                    help="honour the in-band shutdown op")
+    pd.add_argument("--epsilon", type=float, default=0.03,
+                    help="base imbalance tolerance of the daemon's config")
+    pd.add_argument("--stats", default=None, metavar="ADDRESS",
+                    help="query a running daemon's statistics instead of "
+                         "serving (host:port or UNIX socket path)")
+
+    pq = sub.add_parser("query", help="one request against a running daemon")
+    pq.add_argument("--connect", required=True, metavar="ADDRESS",
+                    help="daemon address: host:port or UNIX socket path")
+    pq.add_argument("matrix",
+                    help="matrix path, collection:<name>[@scale], or "
+                         "fingerprint:<hex> for a cache-only lookup")
+    pq.add_argument("-k", type=int, default=None, help="number of processors")
+    pq.add_argument("--model", choices=sorted(_DECOMPOSE_METHODS),
+                    default="finegrain2d")
+    pq.add_argument("--epsilon", type=float, default=None)
+    pq.add_argument("--seed", type=int, default=None)
+    pq.add_argument("--starts", type=int, default=None)
+    pq.add_argument("--engine-workers", type=int, default=None)
+    pq.add_argument("--deadline", type=float, default=None)
+    pq.add_argument("--inline", action="store_true",
+                    help="load the matrix locally and ship it inline "
+                         "instead of naming a daemon-side path")
+    pq.add_argument("--no-part", action="store_true",
+                    help="skip the partition vector in the response")
+    pq.add_argument("--output", default=None, metavar="PATH",
+                    help="write the partition vector to this .npz file")
     return p.parse_args(argv)
 
 
@@ -290,9 +356,91 @@ def _cmd_profile(a: sp.csr_matrix, args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """The ``serve`` command: run the daemon (or query a running one)."""
+    import json
+
+    if args.stats:
+        from repro.serve.client import Client
+
+        with Client(args.stats) as client:
+            print(json.dumps(client.stats(), indent=2, default=str))
+        return 0
+
+    from repro.serve import ServeConfig, run_server
+
+    if args.port is None and not args.unix:
+        print("serve: need --port and/or --unix", file=sys.stderr)
+        return 2
+    cfg = ServeConfig(
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        n_workers=args.workers,
+        queue_limit=args.queue_limit,
+        per_client_limit=args.per_client_limit,
+        cache_mem_bytes=args.cache_mem_mb * 1024 * 1024,
+        cache_dir=args.cache_dir,
+        cache_disk_bytes=args.cache_disk_mb * 1024 * 1024,
+        default_deadline=args.deadline,
+        max_n_starts=args.max_starts,
+        max_engine_workers=args.max_engine_workers,
+        trace_path=args.trace,
+        allow_shutdown=args.allow_shutdown,
+        config=PartitionerConfig(epsilon=args.epsilon),
+    )
+    return run_server(cfg)
+
+
+def _cmd_query(args) -> int:
+    """The ``query`` command: one decompose request against a daemon."""
+    from repro.serve.client import Client, ServeError
+
+    matrix = args.matrix
+    if args.inline and not matrix.startswith("fingerprint:"):
+        matrix = load_matrix_arg(matrix)
+    try:
+        with Client(args.connect) as client:
+            res = client.decompose(
+                matrix,
+                k=args.k,
+                method=_DECOMPOSE_METHODS[args.model],
+                seed=args.seed,
+                epsilon=args.epsilon,
+                n_starts=args.starts,
+                engine_workers=args.engine_workers,
+                deadline=args.deadline,
+                want_part=not args.no_part,
+            )
+    except (ServeError, ConnectionError, OSError) as exc:
+        print(f"query failed: {exc}", file=sys.stderr)
+        return 1
+    served = res.served
+    print(
+        f"method={res.method} K={res.k} cutsize={res.cutsize} "
+        f"imbalance={100 * res.imbalance:.2f}% "
+        f"served={served.get('cache')} total={served.get('total_ms', 0):.1f}ms"
+    )
+    print(f"fingerprint={res.fingerprint}")
+    if res.degraded:
+        print(f"degraded: {res.degraded_reason}")
+    if args.output and res.part is not None:
+        np.savez(args.output, part=res.part, k=res.k,
+                 fingerprint=res.fingerprint)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _parse(argv if argv is not None else sys.argv[1:])
+
+    # the service commands resolve (or forward) their matrix themselves
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "query":
+        return _cmd_query(args)
+
     a = load_matrix_arg(args.matrix)
 
     if args.command == "info":

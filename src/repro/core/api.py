@@ -224,6 +224,11 @@ class DecomposeResult:
     #: oracle audit of this result (``decompose(..., verify=True)`` or
     #: ``REPRO_VERIFY=1``); ``None`` when verification did not run
     verification: object | None = None
+    #: content-addressed identity of the request that produced this result
+    #: (:func:`repro.fingerprint` over instance + bit-shaping config +
+    #: seed + k + method) — the key the serving cache, checkpoints and
+    #: clients share
+    fingerprint: str | None = None
 
     def summary(self) -> str:
         """One-line human-readable summary."""
@@ -316,8 +321,18 @@ def decompose(
     }
     if overrides:
         cfg = cfg.with_(**overrides)
+    # normalize the seed here (as_rng passes generators through unchanged,
+    # so the method wrappers see the exact same stream) and fingerprint
+    # the request from the pristine RNG state, before any draws
+    from repro.fingerprint import fingerprint as _fingerprint
+
+    rng = as_rng(seed)
+    fp = _fingerprint(
+        a, cfg, rng, k=k, method=method,
+        extra=method_kwargs if method_kwargs else None,
+    )
     with Timer() as t:
-        dec, info = _METHODS[method](a, k, config=cfg, seed=seed, **method_kwargs)
+        dec, info = _METHODS[method](a, k, config=cfg, seed=rng, **method_kwargs)
     cutsize = info.cutsize if hasattr(info, "cutsize") else info.edge_cut
     res = DecomposeResult(
         method=method,
@@ -331,6 +346,7 @@ def decompose(
         degraded=bool(getattr(info, "degraded", False)),
         degraded_reason=getattr(info, "degraded_reason", None),
         info=info,
+        fingerprint=fp,
     )
     if verify is None:
         verify = _env_bool("REPRO_VERIFY", False)

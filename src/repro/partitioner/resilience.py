@@ -50,7 +50,6 @@ from __future__ import annotations
 
 import base64
 import copy
-import hashlib
 import json
 import multiprocessing as mp
 import os
@@ -153,37 +152,22 @@ class ResumedStart:
     retries: int = 0
 
 
-#: config fields that shape the partition bits — they (plus the instance
-#: dimensions and the seed state) make up the sweep fingerprint; pure
-#: execution knobs (workers, backends, retries, transport) deliberately do
-#: not, so a resumed sweep may run on different hardware settings
-_BIT_FIELDS = (
-    "epsilon", "coarsen_to", "max_coarsen_levels", "min_coarsen_shrink",
-    "matching", "max_net_size_coarsen", "n_initial_starts", "fm_passes",
-    "fm_stall_frac", "fm_stall_min", "fm_boundary_threshold", "n_vcycles",
-    "kway_refine", "kway_passes", "n_runs", "n_starts", "tree_parallel",
-)
-
-
 def sweep_fingerprint(
     h: Hypergraph, k: int, cfg: PartitionerConfig, rng: np.random.Generator
 ) -> str:
     """Identity of a multi-start sweep: instance + bit-shaping config + seed.
 
-    Computed from the engine RNG state *before* any draws, so the same
-    explicit seed always fingerprints identically; a ``seed=None`` run
-    gets a fresh fingerprint every time and therefore never resumes.
+    A thin wrapper over the library-wide :func:`repro.fingerprint`
+    helper (content-addressed: the hypergraph's pin/weight/cost arrays
+    participate, not just its dimensions — the same key derivation the
+    serving cache and clients use).  Computed from the engine RNG state
+    *before* any draws, so the same explicit seed always fingerprints
+    identically; a ``seed=None`` run gets a fresh fingerprint every time
+    and therefore never resumes.
     """
-    doc = {
-        "v": int(h.num_vertices),
-        "n": int(h.num_nets),
-        "p": int(h.num_pins),
-        "k": int(k),
-        "cfg": {name: getattr(cfg, name) for name in _BIT_FIELDS},
-        "seed": rng.bit_generator.state,
-    }
-    blob = json.dumps(doc, sort_keys=True, default=str).encode()
-    return hashlib.sha256(blob).hexdigest()
+    from repro.fingerprint import fingerprint
+
+    return fingerprint(h, cfg, rng, k=int(k))
 
 
 def _start_key(imbalance: float, cutsize: int, start: int, epsilon: float):
@@ -228,11 +212,30 @@ class CheckpointStore:
     @classmethod
     def open(cls, path: str, fingerprint: str, epsilon: float,
              n_starts: int, k: int) -> "CheckpointStore":
-        """Load *path* if it records the same sweep, else start fresh."""
+        """Load *path* if it records the same sweep, else start fresh.
+
+        Also sweeps any stale ``<path>.tmp`` left behind by a process that
+        died between the tmp-write and the atomic ``os.replace`` — the
+        real checkpoint (if any) is intact in that case, and the orphan
+        would otherwise accumulate forever (counted as
+        ``checkpoint.tmp_swept``).
+        """
+        cls.sweep_stale_tmp(path)
         store = cls(path, fingerprint, epsilon, n_starts, k)
         if os.path.exists(path):
             store._load()
         return store
+
+    @staticmethod
+    def sweep_stale_tmp(path: str) -> bool:
+        """Remove an orphaned ``<path>.tmp``; True when one was removed."""
+        tmp = path + ".tmp"
+        try:
+            os.remove(tmp)
+        except OSError:
+            return False
+        get_recorder().add("checkpoint.tmp_swept")
+        return True
 
     def _load(self) -> None:
         try:

@@ -1,0 +1,307 @@
+"""Two-tier content-addressed partition cache.
+
+Partition results are expensive to compute and perfectly reusable — the
+whole premise of the serving layer.  The cache is keyed by the
+:func:`repro.fingerprint` of the request (instance content + bit-shaping
+config + seed + k + method), so a hit is *guaranteed* to be the result
+the engine would have recomputed, bit for bit.
+
+memory tier
+    An LRU :class:`collections.OrderedDict` with a byte-size budget
+    (entries are charged their partition array plus metadata size).  The
+    least recently used entries are evicted first; an entry larger than
+    the whole budget skips the tier entirely.
+disk tier
+    One ``<fingerprint>.npz`` per entry in a cache directory, written
+    atomically with the CheckpointStore idiom (sibling ``.tmp`` +
+    ``os.replace``) so a crash can never leave a half-written entry
+    under a valid name.  Each entry embeds a SHA-256 checksum of the
+    partition bytes; a corrupt or unreadable entry is detected on read,
+    deleted, and reported as a miss — the service recomputes.  Eviction
+    is LRU by file mtime (refreshed on every hit) under a byte budget.
+
+A disk hit is promoted back into the memory tier.  All operations are
+thread-safe (the daemon touches the cache from the event loop and from
+executor threads) and counted: ``cache.mem_hits``, ``cache.disk_hits``,
+``cache.misses``, ``cache.mem_evictions``, ``cache.disk_evictions``,
+``cache.corrupt_entries``, ``cache.puts``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry import get_recorder
+
+__all__ = ["CacheEntry", "PartitionCache"]
+
+#: on-disk entry format version (bump on incompatible changes; old
+#: versions read as corrupt and are recomputed)
+DISK_VERSION = 1
+
+
+@dataclass
+class CacheEntry:
+    """One cached partition result."""
+
+    #: content-addressed request identity (:func:`repro.fingerprint`)
+    fingerprint: str
+    #: part id per model vertex
+    part: np.ndarray
+    #: JSON-serializable result metadata (method, k, cutsize, ...)
+    meta: dict
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate in-memory footprint used for the byte budget."""
+        return int(self.part.nbytes) + len(json.dumps(self.meta)) + 128
+
+    def checksum(self) -> str:
+        """SHA-256 over the partition bytes (corruption detection)."""
+        h = hashlib.sha256()
+        h.update(str(self.part.dtype).encode())
+        h.update(self.part.tobytes())
+        return h.hexdigest()
+
+
+class PartitionCache:
+    """Two-tier (memory LRU + disk npz) content-addressed result cache.
+
+    Parameters
+    ----------
+    mem_bytes:
+        Byte budget of the in-memory tier (0 disables it).
+    disk_dir:
+        Directory of the on-disk tier (``None`` disables it); created on
+        first use.
+    disk_bytes:
+        Byte budget of the on-disk tier.
+    """
+
+    def __init__(
+        self,
+        mem_bytes: int = 64 * 1024 * 1024,
+        disk_dir: str | None = None,
+        disk_bytes: int = 1024 * 1024 * 1024,
+    ) -> None:
+        self.mem_bytes = int(mem_bytes)
+        self.disk_dir = disk_dir
+        self.disk_bytes = int(disk_bytes)
+        self._lock = threading.Lock()
+        self._mem: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._mem_used = 0
+        self._counts = {
+            "mem_hits": 0, "disk_hits": 0, "misses": 0, "puts": 0,
+            "mem_evictions": 0, "disk_evictions": 0, "corrupt_entries": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # public surface
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> tuple[CacheEntry, str] | None:
+        """Look *fingerprint* up; returns ``(entry, tier)`` with tier
+        ``"memory"`` or ``"disk"``, or ``None`` on a miss.  A disk hit is
+        promoted to the memory tier; a corrupt disk entry is deleted and
+        reported as a miss."""
+        rec = get_recorder()
+        with self._lock:
+            entry = self._mem.get(fingerprint)
+            if entry is not None:
+                self._mem.move_to_end(fingerprint)
+                self._counts["mem_hits"] += 1
+                rec.add("cache.mem_hits")
+                return entry, "memory"
+            entry = self._disk_read(fingerprint)
+            if entry is not None:
+                self._counts["disk_hits"] += 1
+                rec.add("cache.disk_hits")
+                self._mem_put(entry)
+                return entry, "disk"
+            self._counts["misses"] += 1
+            rec.add("cache.misses")
+            return None
+
+    def put(self, entry: CacheEntry) -> None:
+        """Insert *entry* into both tiers (subject to their budgets)."""
+        with self._lock:
+            self._counts["puts"] += 1
+            get_recorder().add("cache.puts")
+            self._mem_put(entry)
+            self._disk_write(entry)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            if fingerprint in self._mem:
+                return True
+        return (
+            self.disk_dir is not None
+            and os.path.exists(self._disk_path(fingerprint))
+        )
+
+    def clear(self) -> None:
+        """Drop every entry from both tiers."""
+        with self._lock:
+            self._mem.clear()
+            self._mem_used = 0
+            if self.disk_dir and os.path.isdir(self.disk_dir):
+                for name in os.listdir(self.disk_dir):
+                    if name.endswith(".npz") or name.endswith(".tmp"):
+                        try:
+                            os.remove(os.path.join(self.disk_dir, name))
+                        except OSError:
+                            pass
+
+    def stats(self) -> dict:
+        """Counters plus current occupancy of both tiers."""
+        with self._lock:
+            disk_entries, disk_used = self._disk_usage()
+            hits = self._counts["mem_hits"] + self._counts["disk_hits"]
+            lookups = hits + self._counts["misses"]
+            return {
+                **self._counts,
+                "hit_rate": (hits / lookups) if lookups else 0.0,
+                "mem_entries": len(self._mem),
+                "mem_bytes_used": self._mem_used,
+                "mem_bytes_budget": self.mem_bytes,
+                "disk_entries": disk_entries,
+                "disk_bytes_used": disk_used,
+                "disk_bytes_budget": self.disk_bytes if self.disk_dir else 0,
+                "disk_dir": self.disk_dir,
+            }
+
+    # ------------------------------------------------------------------
+    # memory tier
+    # ------------------------------------------------------------------
+    def _mem_put(self, entry: CacheEntry) -> None:
+        if self.mem_bytes <= 0:
+            return
+        size = entry.nbytes
+        if size > self.mem_bytes:
+            return  # larger than the whole budget: disk tier only
+        old = self._mem.pop(entry.fingerprint, None)
+        if old is not None:
+            self._mem_used -= old.nbytes
+        self._mem[entry.fingerprint] = entry
+        self._mem_used += size
+        while self._mem_used > self.mem_bytes and self._mem:
+            _, evicted = self._mem.popitem(last=False)
+            self._mem_used -= evicted.nbytes
+            self._counts["mem_evictions"] += 1
+            get_recorder().add("cache.mem_evictions")
+
+    # ------------------------------------------------------------------
+    # disk tier
+    # ------------------------------------------------------------------
+    def _disk_path(self, fingerprint: str) -> str:
+        return os.path.join(self.disk_dir, f"{fingerprint}.npz")
+
+    def _disk_write(self, entry: CacheEntry) -> None:
+        if not self.disk_dir:
+            return
+        try:
+            os.makedirs(self.disk_dir, exist_ok=True)
+            path = self._disk_path(entry.fingerprint)
+            tmp = path + ".tmp"
+            doc = {
+                "version": DISK_VERSION,
+                "fingerprint": entry.fingerprint,
+                "checksum": entry.checksum(),
+                "meta": entry.meta,
+            }
+            # the CheckpointStore idiom: the file under the final name is
+            # always a complete snapshot, whatever instant a crash hits
+            with open(tmp, "wb") as f:
+                np.savez(f, part=entry.part, doc=np.frombuffer(
+                    json.dumps(doc).encode(), dtype=np.uint8))
+            os.replace(tmp, path)
+        except OSError:
+            # a full disk costs future cache hits, never the response
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            return
+        self._disk_evict()
+
+    def _disk_read(self, fingerprint: str) -> CacheEntry | None:
+        if not self.disk_dir:
+            return None
+        path = self._disk_path(fingerprint)
+        if not os.path.exists(path):
+            return None
+        try:
+            with np.load(path) as data:
+                doc = json.loads(bytes(data["doc"]).decode())
+                part = np.ascontiguousarray(data["part"])
+            if doc.get("version") != DISK_VERSION:
+                raise ValueError("unknown cache entry version")
+            if doc.get("fingerprint") != fingerprint:
+                raise ValueError("cache entry fingerprint mismatch")
+            entry = CacheEntry(
+                fingerprint=fingerprint, part=part, meta=doc["meta"]
+            )
+            if entry.checksum() != doc.get("checksum"):
+                raise ValueError("cache entry checksum mismatch")
+        except Exception:
+            # corrupt, truncated, or unreadable: delete and recompute
+            self._counts["corrupt_entries"] += 1
+            get_recorder().add("cache.corrupt_entries")
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:
+            pass
+        return entry
+
+    def _disk_usage(self) -> tuple[int, int]:
+        if not self.disk_dir or not os.path.isdir(self.disk_dir):
+            return 0, 0
+        n = used = 0
+        for name in os.listdir(self.disk_dir):
+            if not name.endswith(".npz"):
+                continue
+            try:
+                used += os.path.getsize(os.path.join(self.disk_dir, name))
+                n += 1
+            except OSError:
+                pass
+        return n, used
+
+    def _disk_evict(self) -> None:
+        """Evict least-recently-used files until the tier fits its budget."""
+        if not self.disk_dir or not os.path.isdir(self.disk_dir):
+            return
+        files = []
+        total = 0
+        for name in os.listdir(self.disk_dir):
+            if not name.endswith(".npz"):
+                continue
+            path = os.path.join(self.disk_dir, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            files.append((st.st_mtime, st.st_size, path))
+            total += st.st_size
+        files.sort()  # oldest mtime first
+        for mtime, size, path in files:
+            if total <= self.disk_bytes:
+                break
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            self._counts["disk_evictions"] += 1
+            get_recorder().add("cache.disk_evictions")

@@ -1,0 +1,230 @@
+"""Synchronous client for the partitioning service.
+
+Speaks the NDJSON protocol over TCP or a UNIX socket; this is the client
+behind the ``repro query`` CLI and the ``repro-bench serve`` load
+generator, and the reference implementation for anything else that wants
+to talk to the daemon::
+
+    from repro.serve.client import Client
+
+    with Client("127.0.0.1:43211") as c:
+        r = c.decompose("collection:sherman3@0.25", k=4, seed=0)
+        print(r.cutsize, r.served["cache"])     # "computed"
+        r2 = c.decompose("collection:sherman3@0.25", k=4, seed=0)
+        print(r2.served["cache"])               # "hit-memory"
+        assert (r.part == r2.part).all()
+
+A matrix may be named by a path or ``collection:`` spec (resolved by the
+*daemon*), passed as a scipy sparse matrix (shipped inline over the
+wire), or referenced by a bare fingerprint (cache-only lookup).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_msg,
+    encode_msg,
+    inline_matrix,
+    part_from_b64,
+)
+
+__all__ = ["Client", "ServeResult", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """An error response from the daemon, with its wire error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+@dataclass
+class ServeResult:
+    """One successful ``decompose`` response, decoded."""
+
+    #: content-addressed request identity
+    fingerprint: str
+    #: model name and part count
+    method: str
+    k: int
+    #: partitioner objective value and achieved imbalance
+    cutsize: int
+    imbalance: float
+    #: deadline SLO outcome
+    degraded: bool
+    degraded_reason: str | None
+    #: part id per model vertex (``None`` with ``want_part=False``)
+    part: np.ndarray | None
+    #: how the request was served (cache tier + stage timings)
+    served: dict
+    #: the canonical result document exactly as received
+    raw: dict
+
+
+def _matrix_spec(matrix) -> dict:
+    """Wire form of any of the accepted matrix arguments."""
+    if isinstance(matrix, dict):
+        return matrix
+    if sp.issparse(matrix):
+        return {"inline": inline_matrix(matrix)}
+    if isinstance(matrix, str):
+        if matrix.startswith("collection:"):
+            return {"collection": matrix.split(":", 1)[1]}
+        if matrix.startswith("fingerprint:"):
+            return {"fingerprint": matrix.split(":", 1)[1]}
+        return {"path": os.path.abspath(matrix)}
+    raise TypeError(
+        "matrix must be a scipy sparse matrix, a path, a 'collection:...' "
+        "or 'fingerprint:...' spec, or a wire-form dict"
+    )
+
+
+class Client:
+    """Blocking NDJSON client over one connection.
+
+    *address* is ``"host:port"`` (TCP), a filesystem path (UNIX socket),
+    or a ``(host, port)`` tuple.  The connection is opened lazily on the
+    first request and reused; use as a context manager or call
+    :meth:`close`.
+    """
+
+    def __init__(
+        self, address, timeout: float | None = 60.0, client_id: str | None = None
+    ) -> None:
+        self.address = address
+        self.timeout = timeout
+        self.client_id = client_id
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        addr = self.address
+        if isinstance(addr, str) and ":" in addr and not os.path.exists(addr):
+            host, port = addr.rsplit(":", 1)
+            addr = (host, int(port))
+        if isinstance(addr, tuple):
+            sock = socket.create_connection(addr, timeout=self.timeout)
+        else:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(addr)
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def request(self, obj: dict) -> dict:
+        """Send one request dict, return the raw response dict.
+
+        Raises :class:`ServeError` on an error response and
+        :class:`ConnectionError` when the daemon hangs up mid-request.
+        """
+        self._connect()
+        self._next_id += 1
+        obj = dict(obj)
+        obj.setdefault("id", self._next_id)
+        if self.client_id is not None:
+            obj.setdefault("client", self.client_id)
+        self._sock.sendall(encode_msg(obj))
+        line = self._rfile.readline(MAX_LINE_BYTES)
+        if not line:
+            self.close()
+            raise ConnectionError("server closed the connection")
+        try:
+            response = decode_msg(line)
+        except ProtocolError as exc:
+            raise ConnectionError(f"undecodable response: {exc}") from None
+        if not response.get("ok"):
+            err = response.get("error") or {}
+            raise ServeError(
+                err.get("code", "unknown"), err.get("message", "unknown error")
+            )
+        return response
+
+    def decompose(
+        self,
+        matrix,
+        k: int | None = None,
+        method: str = "finegrain",
+        seed: int | None = None,
+        epsilon: float | None = None,
+        n_starts: int | None = None,
+        engine_workers: int | None = None,
+        deadline: float | None = None,
+        want_part: bool = True,
+    ) -> ServeResult:
+        """Request a decomposition; see :func:`repro.decompose` for the
+        semantics of the knobs.  ``matrix`` may also be a bare
+        ``"fingerprint:..."`` spec for a cache-only lookup (no ``k``)."""
+        obj: dict = {
+            "op": "decompose",
+            "matrix": _matrix_spec(matrix),
+            "method": method,
+            "want_part": want_part,
+        }
+        for name, value in (
+            ("k", k), ("seed", seed), ("epsilon", epsilon),
+            ("n_starts", n_starts), ("engine_workers", engine_workers),
+            ("deadline", deadline),
+        ):
+            if value is not None:
+                obj[name] = value
+        response = self.request(obj)
+        result = response["result"]
+        part = part_from_b64(result) if "part_b64" in result else None
+        return ServeResult(
+            fingerprint=result["fingerprint"],
+            method=result["method"],
+            k=int(result["k"]),
+            cutsize=int(result["cutsize"]),
+            imbalance=float(result["imbalance"]),
+            degraded=bool(result["degraded"]),
+            degraded_reason=result.get("degraded_reason"),
+            part=part,
+            served=response.get("served", {}),
+            raw=result,
+        )
+
+    def stats(self) -> dict:
+        """The daemon's live statistics document."""
+        return self.request({"op": "stats"})["stats"]
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def shutdown(self) -> bool:
+        """Ask the daemon to stop (needs ``--allow-shutdown``)."""
+        return bool(self.request({"op": "shutdown"}).get("stopping"))

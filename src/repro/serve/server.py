@@ -1,0 +1,195 @@
+"""The asyncio transport of the partitioning service.
+
+One :class:`PartitionService` behind any number of listeners: a TCP
+socket (``--host``/``--port``; port 0 picks an ephemeral port) and/or a
+UNIX domain socket (``--unix``).  Each connection is a newline-delimited
+JSON conversation (see :mod:`repro.serve.protocol`); requests on one
+connection may be pipelined and are answered in completion order, each
+response echoing the request ``id``.
+
+:func:`run_server` is the blocking entry the ``repro serve`` CLI uses:
+it prints a machine-parseable ready line --
+
+    ``repro-serve listening tcp=127.0.0.1:43211 unix=/tmp/repro.sock``
+
+-- then serves until SIGTERM/SIGINT or an in-band ``shutdown`` request
+(when allowed), draining connections and removing the UNIX socket on the
+way out.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import signal
+import sys
+
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_msg,
+    encode_msg,
+    error_response,
+)
+from repro.serve.service import PartitionService, ServeConfig
+
+__all__ = ["PartitionServer", "run_server"]
+
+
+class PartitionServer:
+    """Listeners + per-connection NDJSON loops around one service."""
+
+    def __init__(self, cfg: ServeConfig | None = None) -> None:
+        self.cfg = cfg or ServeConfig()
+        self.service = PartitionService(self.cfg)
+        self._servers: list[asyncio.base_events.Server] = []
+        self._conn_tasks: set[asyncio.Task] = set()
+        #: bound TCP (host, port) after :meth:`start`, if TCP is enabled
+        self.tcp_address: tuple[str, int] | None = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind every configured listener."""
+        if self.cfg.port is not None:
+            srv = await asyncio.start_server(
+                self._serve_connection,
+                host=self.cfg.host,
+                port=self.cfg.port,
+                limit=MAX_LINE_BYTES,
+            )
+            self._servers.append(srv)
+            sock = srv.sockets[0]
+            self.tcp_address = sock.getsockname()[:2]
+        if self.cfg.unix_path:
+            with contextlib.suppress(OSError):
+                os.remove(self.cfg.unix_path)
+            srv = await asyncio.start_unix_server(
+                self._serve_connection,
+                path=self.cfg.unix_path,
+                limit=MAX_LINE_BYTES,
+            )
+            self._servers.append(srv)
+        if not self._servers:
+            raise ValueError("no listener configured (need a TCP port or --unix)")
+
+    async def close(self) -> None:
+        """Stop accepting, drain connections, release the service."""
+        for srv in self._servers:
+            srv.close()
+        for srv in self._servers:
+            await srv.wait_closed()
+        self._servers.clear()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self.service.close()
+        if self.cfg.unix_path:
+            with contextlib.suppress(OSError):
+                os.remove(self.cfg.unix_path)
+
+    def ready_line(self) -> str:
+        """The one-line startup banner clients and CI parse."""
+        parts = ["repro-serve listening"]
+        if self.tcp_address is not None:
+            parts.append(f"tcp={self.tcp_address[0]}:{self.tcp_address[1]}")
+        if self.cfg.unix_path:
+            parts.append(f"unix={self.cfg.unix_path}")
+        return " ".join(parts)
+
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:  # so close() can drain live connections
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        peer = writer.get_extra_info("peername")
+        default_client = (
+            f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) else "unix"
+        )
+        write_lock = asyncio.Lock()
+        pending: set[asyncio.Task] = set()
+
+        async def respond(response: dict) -> None:
+            async with write_lock:
+                writer.write(encode_msg(response))
+                await writer.drain()
+
+        async def one_request(obj: dict) -> None:
+            client = str(obj.get("client") or default_client)
+            response = await self.service.handle(obj, client)
+            await respond(response)
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                    ConnectionResetError,
+                ):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    obj = decode_msg(line)
+                except ProtocolError as exc:
+                    await respond(error_response(None, exc.code, str(exc)))
+                    continue
+                # pipelining: requests run concurrently, answered as done
+                task = asyncio.ensure_future(one_request(obj))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            for task in list(pending):
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+
+async def _serve_until_stopped(server: PartitionServer, banner) -> None:
+    await server.start()
+    if banner is not None:
+        print(server.ready_line(), file=banner, flush=True)
+    loop = asyncio.get_running_loop()
+    stop = server.service.shutdown_event
+    # signal handlers need the main thread; tests run the loop elsewhere
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError, ValueError, RuntimeError):
+            loop.add_signal_handler(signum, stop.set)
+    try:
+        await stop.wait()
+    finally:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, ValueError, RuntimeError):
+                loop.remove_signal_handler(signum)
+        await server.close()
+
+
+def run_server(cfg: ServeConfig | None = None, banner=None) -> int:
+    """Blocking daemon entry: bind, announce, serve until stopped.
+
+    *banner* is the stream the ready line goes to (stdout by default);
+    pass ``banner=False`` to suppress it.  Returns the process exit code.
+    """
+    if banner is None:
+        banner = sys.stdout
+    elif banner is False:
+        banner = None
+    server = PartitionServer(cfg)
+    try:
+        asyncio.run(_serve_until_stopped(server, banner))
+    except KeyboardInterrupt:
+        pass
+    return 0

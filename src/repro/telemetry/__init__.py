@@ -38,6 +38,7 @@ from repro.telemetry.recorder import (
     TelemetryRecorder,
     Timer,
     get_recorder,
+    scoped_recorder,
     set_recorder,
     use_recorder,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "get_recorder",
     "set_recorder",
     "use_recorder",
+    "scoped_recorder",
     "render_tree",
     "write_ndjson",
     "read_ndjson",

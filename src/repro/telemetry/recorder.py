@@ -35,6 +35,7 @@ depend on it without cycles.
 from __future__ import annotations
 
 import contextlib
+import contextvars
 import threading
 import time
 
@@ -46,6 +47,7 @@ __all__ = [
     "get_recorder",
     "set_recorder",
     "use_recorder",
+    "scoped_recorder",
     "Timer",
 ]
 
@@ -218,17 +220,34 @@ class TelemetryRecorder:
 
 
 # -- the active recorder ---------------------------------------------------
+#
+# Two layers, consulted in order by :func:`get_recorder`:
+#
+# * a *context-local* override (:func:`scoped_recorder`) carried by a
+#   ``contextvars.ContextVar`` — each asyncio task (and each thread that
+#   enters the scope) sees its own recorder, so concurrent sweeps in one
+#   process (the ``repro serve`` daemon, concurrent ``decompose()`` calls)
+#   build disjoint traces instead of colliding on one global;
+# * the legacy *process-wide* recorder (:func:`set_recorder` /
+#   :func:`use_recorder`) — still what worker threads spawned by the
+#   engine see, since fresh threads start with an empty context.
 _ACTIVE: NullRecorder | TelemetryRecorder = NullRecorder()
+_CONTEXT: contextvars.ContextVar[TelemetryRecorder | NullRecorder | None] = (
+    contextvars.ContextVar("repro_telemetry_recorder", default=None)
+)
 
 
 def get_recorder() -> NullRecorder | TelemetryRecorder:
-    """The process-wide active recorder (a no-op one unless opted in)."""
-    return _ACTIVE
+    """The active recorder: the context-local override if one is set in the
+    calling context, else the process-wide recorder (a no-op one unless
+    opted in)."""
+    ctx = _CONTEXT.get()
+    return ctx if ctx is not None else _ACTIVE
 
 
 def set_recorder(rec: NullRecorder | TelemetryRecorder | None):
-    """Install *rec* as the active recorder (``None`` restores the no-op
-    default); returns the previously active recorder."""
+    """Install *rec* as the process-wide active recorder (``None`` restores
+    the no-op default); returns the previously active recorder."""
     global _ACTIVE
     prev = _ACTIVE
     _ACTIVE = rec if rec is not None else NullRecorder()
@@ -238,14 +257,34 @@ def set_recorder(rec: NullRecorder | TelemetryRecorder | None):
 @contextlib.contextmanager
 def use_recorder(rec: TelemetryRecorder | None = None):
     """Context manager: activate *rec* (a fresh :class:`TelemetryRecorder`
-    by default) for the enclosed block and restore the previous recorder
-    afterwards.  Yields the activated recorder."""
+    by default) process-wide for the enclosed block and restore the
+    previous recorder afterwards.  Yields the activated recorder."""
     rec = rec if rec is not None else TelemetryRecorder()
     prev = set_recorder(rec)
     try:
         yield rec
     finally:
         set_recorder(prev)
+
+
+@contextlib.contextmanager
+def scoped_recorder(rec: TelemetryRecorder | NullRecorder | None = None):
+    """Context manager: activate *rec* (a fresh :class:`TelemetryRecorder`
+    by default) for the *current context only* — the calling asyncio task,
+    or the calling thread until the scope exits.
+
+    Unlike :func:`use_recorder` this never touches the process-wide
+    recorder, so any number of scopes may be live concurrently (one per
+    in-flight request in the partitioning service); instrumented code
+    called inside the scope records into this recorder, code running in
+    other tasks/threads is unaffected.  Yields the activated recorder.
+    """
+    rec = rec if rec is not None else TelemetryRecorder()
+    token = _CONTEXT.set(rec)
+    try:
+        yield rec
+    finally:
+        _CONTEXT.reset(token)
 
 
 class Timer:

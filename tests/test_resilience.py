@@ -268,6 +268,20 @@ class TestCheckpoint:
         assert not os.path.exists(cfg.checkpoint_path)
         assert not os.path.exists(cfg.checkpoint_path + ".tmp")
 
+    def test_orphaned_tmp_is_swept_on_open(self, tmp_path):
+        # a crash between tmp-write and os.replace leaves sweep.ndjson.tmp
+        # behind; opening the store must clean it up (and say so)
+        path = str(tmp_path / "sweep.ndjson")
+        with open(path + ".tmp", "w") as f:
+            f.write('{"kind": "start"')  # a torn half-write
+        rec = TelemetryRecorder()
+        with use_recorder(rec):
+            CheckpointStore.open(path, "fp", 0.03, 4, 2)
+        assert not os.path.exists(path + ".tmp")
+        assert rec.counter_totals().get("checkpoint.tmp_swept") == 1
+        # nothing to sweep: quiet no-op
+        assert CheckpointStore.sweep_stale_tmp(path) is False
+
     def test_corrupt_checkpoint_starts_fresh(self, tmp_path, engine_cfg):
         h = random_hypergraph(np.random.default_rng(2), nv=60, nn=150)
         path = tmp_path / "junk.ndjson"

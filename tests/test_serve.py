@@ -1,0 +1,594 @@
+"""The partitioning service (:mod:`repro.serve`): cache, scheduling,
+protocol, transport.
+
+The contract under test: a response is a pure function of the request
+fingerprint — whether it was computed, answered from either cache tier,
+or shared with a deduplicated waiter, the canonical result document is
+byte-identical; and concurrent requests never perturb each other's bits
+(the reentrancy refactor's regression tests live here too).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.serve.cache import CacheEntry, PartitionCache
+from repro.serve.protocol import (
+    ProtocolError,
+    canonical_result_bytes,
+    decode_msg,
+    encode_msg,
+    inline_matrix,
+    matrix_from_inline,
+    parse_decompose,
+    part_from_b64,
+    part_to_b64,
+)
+from repro.serve.service import PartitionService, ServeConfig
+
+
+def entry(fp: str, n: int = 100, meta: dict | None = None) -> CacheEntry:
+    return CacheEntry(
+        fingerprint=fp,
+        part=np.arange(n, dtype=np.int64),
+        meta=meta if meta is not None else {"k": 4},
+    )
+
+
+@pytest.fixture
+def a():
+    return sp.random(60, 60, density=0.08, format="csr", random_state=0)
+
+
+def service_cfg(tmp_path, **kw) -> ServeConfig:
+    kw.setdefault("port", None)
+    kw.setdefault("cache_dir", str(tmp_path / "cache"))
+    return ServeConfig(**kw)
+
+
+def req(a, seed=0, k=4, **kw) -> dict:
+    return {
+        "op": "decompose",
+        "matrix": {"inline": inline_matrix(a)},
+        "k": k,
+        "seed": seed,
+        **kw,
+    }
+
+
+def run_service(coro_fn, cfg: ServeConfig):
+    """Run an async scenario against a fresh service, then tear it down."""
+    service = PartitionService(cfg)
+    try:
+        return asyncio.run(coro_fn(service))
+    finally:
+        service.close()
+
+
+# ----------------------------------------------------------------------
+# protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_message_round_trip(self):
+        obj = {"op": "ping", "id": 3, "nested": {"x": [1, 2]}}
+        assert decode_msg(encode_msg(obj)) == obj
+
+    def test_part_round_trip(self):
+        part = np.array([0, 3, 1, 2], dtype=np.int64)
+        assert np.array_equal(part_from_b64(part_to_b64(part)), part)
+
+    def test_inline_matrix_round_trip(self):
+        a = sp.random(12, 9, density=0.3, format="csr", random_state=1)
+        b = matrix_from_inline(inline_matrix(a))
+        assert (a != b).nnz == 0
+        assert b.shape == a.shape
+
+    def test_inline_matrix_plain_coo(self):
+        b = matrix_from_inline(
+            {"shape": [2, 2], "coo": [[0, 0, 2.0], [1, 1, 3.0]]}
+        )
+        assert b.toarray().tolist() == [[2.0, 0.0], [0.0, 3.0]]
+
+    def test_inline_matrix_rejects_bad_indices(self):
+        with pytest.raises(ProtocolError, match="out of range"):
+            matrix_from_inline({"shape": [2, 2], "coo": [[5, 0, 1.0]]})
+
+    def test_parse_rejects_bad_requests(self):
+        with pytest.raises(ProtocolError, match="matrix"):
+            parse_decompose({"op": "decompose"})
+        with pytest.raises(ProtocolError, match="'k'"):
+            parse_decompose({"op": "decompose", "matrix": {"path": "x"}})
+        with pytest.raises(ProtocolError, match="method"):
+            parse_decompose(
+                {"op": "decompose", "matrix": {"path": "x"}, "k": 2,
+                 "method": "nope"}
+            )
+
+    def test_fingerprint_lookup_needs_no_k(self):
+        fields = parse_decompose(
+            {"op": "decompose", "matrix": {"fingerprint": "ab"}}
+        )
+        assert "k" not in fields
+
+
+# ----------------------------------------------------------------------
+# the two-tier cache
+# ----------------------------------------------------------------------
+class TestCacheMemoryTier:
+    def test_lru_eviction_order_under_byte_budget(self):
+        one = entry("a").nbytes
+        cache = PartitionCache(mem_bytes=3 * one, disk_dir=None)
+        for fp in ("a", "b", "c"):
+            cache.put(entry(fp))
+        cache.get("a")  # refresh: "b" is now least recently used
+        cache.put(entry("d"))
+        assert cache.get("b") is None
+        got = cache.get("a")
+        assert got is not None and got[1] == "memory"
+        assert cache.get("c") is not None and cache.get("d") is not None
+        assert cache.stats()["mem_evictions"] == 1
+
+    def test_oversized_entry_skips_memory_tier(self, tmp_path):
+        cache = PartitionCache(mem_bytes=64, disk_dir=str(tmp_path))
+        cache.put(entry("big", n=10_000))
+        assert cache.stats()["mem_entries"] == 0
+        got = cache.get("big")  # still served, from disk
+        assert got is not None and got[1] == "disk"
+
+    def test_replacement_does_not_leak_budget(self):
+        cache = PartitionCache(mem_bytes=10 * entry("x").nbytes)
+        for _ in range(50):
+            cache.put(entry("x"))
+        assert cache.stats()["mem_bytes_used"] == entry("x").nbytes
+
+
+class TestCacheDiskTier:
+    def test_disk_round_trip_across_instances(self, tmp_path):
+        meta = {"k": 4, "cutsize": 17, "method": "finegrain"}
+        PartitionCache(disk_dir=str(tmp_path)).put(entry("fp1", meta=meta))
+        fresh = PartitionCache(disk_dir=str(tmp_path))  # a daemon restart
+        got = fresh.get("fp1")
+        assert got is not None
+        e, tier = got
+        assert tier == "disk"
+        assert np.array_equal(e.part, entry("fp1").part)
+        assert e.meta == meta
+        # the disk hit was promoted: next lookup is a memory hit
+        assert fresh.get("fp1")[1] == "memory"
+
+    def test_corrupt_entry_detected_deleted_recomputed(self, tmp_path):
+        cache = PartitionCache(mem_bytes=0, disk_dir=str(tmp_path))
+        cache.put(entry("fp1"))
+        path = cache._disk_path("fp1")
+        with open(path, "r+b") as f:  # flip bytes inside the npz payload
+            f.seek(os.path.getsize(path) // 2)
+            f.write(b"\xff\xff\xff\xff\xff\xff\xff\xff")
+        assert cache.get("fp1") is None
+        assert not os.path.exists(path)  # deleted, will be recomputed
+        assert cache.stats()["corrupt_entries"] == 1
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = PartitionCache(mem_bytes=0, disk_dir=str(tmp_path))
+        cache.put(entry("fp1"))
+        path = cache._disk_path("fp1")
+        with open(path, "r+b") as f:
+            f.truncate(os.path.getsize(path) // 3)
+        assert cache.get("fp1") is None
+        assert cache.stats()["corrupt_entries"] == 1
+
+    def test_wrong_fingerprint_under_right_name_is_corrupt(self, tmp_path):
+        cache = PartitionCache(mem_bytes=0, disk_dir=str(tmp_path))
+        cache.put(entry("fp1"))
+        os.replace(cache._disk_path("fp1"), cache._disk_path("fp2"))
+        assert cache.get("fp2") is None
+        assert cache.stats()["corrupt_entries"] == 1
+
+    def test_disk_eviction_lru_by_mtime(self, tmp_path):
+        one_file = None
+        cache = PartitionCache(mem_bytes=0, disk_dir=str(tmp_path))
+        cache.put(entry("a"))
+        one_file = os.path.getsize(cache._disk_path("a"))
+        cache.disk_bytes = int(2.5 * one_file)
+        now = time.time()
+        os.utime(cache._disk_path("a"), (now - 100, now - 100))
+        cache.put(entry("b"))
+        os.utime(cache._disk_path("b"), (now - 50, now - 50))
+        cache.put(entry("c"))  # budget fits 2: oldest ("a") evicted
+        assert cache.get("a") is None
+        assert cache.get("b") is not None
+        assert cache.get("c") is not None
+        assert cache.stats()["disk_evictions"] == 1
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        cache = PartitionCache(disk_dir=str(tmp_path))
+        cache.put(entry("fp1"))
+        assert not [f for f in os.listdir(tmp_path) if f.endswith(".tmp")]
+
+
+# ----------------------------------------------------------------------
+# the service: cache hits, dedup, admission, deadline
+# ----------------------------------------------------------------------
+class TestServiceCaching:
+    def test_repeat_request_hits_cache_byte_identically(self, tmp_path, a):
+        trace = tmp_path / "trace.ndjson"
+        cfg = service_cfg(tmp_path, trace_path=str(trace))
+
+        async def scenario(svc):
+            r1 = await svc.handle(req(a, seed=0), "c1")
+            r2 = await svc.handle(req(a, seed=0), "c2")
+            return r1, r2, svc.stats()
+
+        r1, r2, stats = run_service(scenario, cfg)
+        assert r1["served"]["cache"] == "computed"
+        assert r2["served"]["cache"] == "hit-memory"
+        # the canonical result document is byte-identical
+        assert canonical_result_bytes(r1["result"]) == canonical_result_bytes(
+            r2["result"]
+        )
+        assert stats["counters"]["hits_memory"] == 1
+        assert stats["counters"]["computed"] == 1
+        # the cache hit never touched the engine: no compute span
+        lines = [json.loads(s) for s in trace.read_text().splitlines()]
+        assert len(lines) == 2
+        assert "serve.compute" in lines[0]["telemetry"]["phases"]
+        assert "serve.compute" not in lines[1]["telemetry"]["phases"]
+
+    def test_fingerprint_only_lookup(self, tmp_path, a):
+        cfg = service_cfg(tmp_path)
+
+        async def scenario(svc):
+            r1 = await svc.handle(req(a, seed=0), "c")
+            fp = r1["result"]["fingerprint"]
+            r2 = await svc.handle(
+                {"op": "decompose", "matrix": {"fingerprint": fp}}, "c"
+            )
+            r3 = await svc.handle(
+                {"op": "decompose", "matrix": {"fingerprint": "0" * 64}}, "c"
+            )
+            return r1, r2, r3
+
+        r1, r2, r3 = run_service(scenario, cfg)
+        assert canonical_result_bytes(r1["result"]) == canonical_result_bytes(
+            r2["result"]
+        )
+        assert r3["ok"] is False
+        assert r3["error"]["code"] == "unknown-fingerprint"
+
+    def test_daemon_restart_serves_from_disk_tier(self, tmp_path, a):
+        cfg = service_cfg(tmp_path)
+
+        async def first(svc):
+            return await svc.handle(req(a, seed=0), "c")
+
+        async def second(svc):
+            return await svc.handle(req(a, seed=0), "c")
+
+        r1 = run_service(first, cfg)
+        r2 = run_service(second, service_cfg(tmp_path))  # fresh process state
+        assert r2["served"]["cache"] == "hit-disk"
+        assert canonical_result_bytes(r1["result"]) == canonical_result_bytes(
+            r2["result"]
+        )
+
+    def test_unseeded_requests_are_never_cached(self, tmp_path, a):
+        cfg = service_cfg(tmp_path)
+
+        async def scenario(svc):
+            r1 = await svc.handle(req(a, seed=None), "c")
+            r2 = await svc.handle(req(a, seed=None), "c")
+            return r1, r2, svc.stats()
+
+        r1, r2, stats = run_service(scenario, cfg)
+        assert r1["served"]["cache"] == "computed"
+        assert r2["served"]["cache"] == "computed"
+        assert stats["counters"]["uncacheable"] == 2
+        assert stats["cache"]["puts"] == 0
+
+    def test_degraded_results_are_not_cached(self, tmp_path, a):
+        cfg = service_cfg(tmp_path)
+
+        async def scenario(svc):
+            r1 = await svc.handle(
+                req(a, seed=0, n_starts=4, deadline=1e-4), "c"
+            )
+            r2 = await svc.handle(
+                req(a, seed=0, n_starts=4, deadline=60.0), "c"
+            )
+            return r1, r2, svc.stats()
+
+        r1, r2, stats = run_service(scenario, cfg)
+        assert r1["result"]["degraded"] is True
+        assert r1["served"]["cache"] == "degraded"
+        # the repeat was recomputed (and cached), not answered degraded
+        assert r2["served"]["cache"] == "computed"
+        assert r2["result"]["degraded"] is False
+        assert stats["counters"]["degraded"] == 1
+
+    def test_want_part_false_strips_the_vector(self, tmp_path, a):
+        cfg = service_cfg(tmp_path)
+
+        async def scenario(svc):
+            return await svc.handle(req(a, seed=0, want_part=False), "c")
+
+        r = run_service(scenario, cfg)
+        assert "part_b64" not in r["result"]
+        assert r["result"]["cutsize"] >= 0
+
+
+class TestServiceScheduling:
+    def test_inflight_dedup_shares_one_computation(self, tmp_path, a):
+        cfg = service_cfg(tmp_path, n_workers=2)
+
+        async def scenario(svc):
+            responses = await asyncio.gather(
+                *(svc.handle(req(a, seed=5), f"c{i}") for i in range(4))
+            )
+            return responses, svc.stats()
+
+        responses, stats = run_service(scenario, cfg)
+        tiers = sorted(r["served"]["cache"] for r in responses)
+        assert stats["counters"]["computed"] == 1
+        assert stats["counters"]["deduped"] == 3
+        assert tiers.count("deduped") == 3
+        blobs = {canonical_result_bytes(r["result"]) for r in responses}
+        assert len(blobs) == 1  # all waiters got the byte-identical doc
+
+    def test_queue_full_and_client_busy_refusals(self, tmp_path, a):
+        cfg = service_cfg(
+            tmp_path, n_workers=1, queue_limit=1, per_client_limit=1
+        )
+
+        async def scenario(svc):
+            # distinct seeds: no dedup — all three want a compute slot
+            t1 = asyncio.ensure_future(svc.handle(req(a, seed=1), "c1"))
+            await asyncio.sleep(0)  # c1 occupies the only slot
+            t2 = asyncio.ensure_future(svc.handle(req(a, seed=2), "c2"))
+            await asyncio.sleep(0)  # c2 queues (global queue now full)
+            r3 = await svc.handle(req(a, seed=3), "c3")  # refused
+            r4 = await svc.handle(req(a, seed=4), "c2")  # c2 over its limit
+            return await t1, await t2, r3, r4
+
+        r1, r2, r3, r4 = run_service(scenario, cfg)
+        assert r1["ok"] and r2["ok"]
+        assert r3["error"]["code"] == "queue-full"
+        assert r4["error"]["code"] == "client-busy"
+
+    def test_fair_admission_round_robins_clients(self, tmp_path):
+        from repro.serve.service import FairAdmission
+
+        async def scenario():
+            adm = FairAdmission(1, queue_limit=16, per_client_limit=8)
+            order: list[str] = []
+            await adm.acquire("holder")  # occupy the only slot
+
+            async def one(client):
+                await adm.acquire(client)
+                order.append(client)
+                await asyncio.sleep(0)
+                adm.release(client)
+
+            # "hog" floods the queue first; "meek" arrives with one request
+            tasks = [asyncio.ensure_future(one("hog")) for _ in range(3)]
+            await asyncio.sleep(0)  # hogs queue; ring = [hog]
+            tasks.append(asyncio.ensure_future(one("meek")))
+            await asyncio.sleep(0)  # meek queues; ring = [hog, meek]
+            adm.release("holder")
+            await asyncio.gather(*tasks)
+            return order
+
+        order = asyncio.run(scenario())
+        # ring order alternates: meek is served second, not behind the
+        # whole hog backlog
+        assert order == ["hog", "meek", "hog", "hog"]
+
+    def test_concurrent_distinct_requests_match_serial_goldens(
+        self, tmp_path
+    ):
+        # the reentrancy regression: two different requests in flight at
+        # once must produce exactly the bits of their serial runs
+        import repro
+
+        mats = {
+            seed: sp.random(50, 50, density=0.1, format="csr", random_state=seed)
+            for seed in (1, 2)
+        }
+        goldens = {
+            seed: repro.decompose(m, 4, method="finegrain", seed=seed).part
+            for seed, m in mats.items()
+        }
+        cfg = service_cfg(tmp_path, n_workers=2)
+
+        async def scenario(svc):
+            return await asyncio.gather(
+                *(svc.handle(req(m, seed=seed), f"c{seed}")
+                  for seed, m in mats.items())
+            )
+
+        responses = run_service(scenario, cfg)
+        for (seed, _), r in zip(mats.items(), responses):
+            assert np.array_equal(part_from_b64(r["result"]), goldens[seed])
+
+
+class TestServiceOps:
+    def test_ping_stats_and_unknown_op(self, tmp_path):
+        cfg = service_cfg(tmp_path)
+
+        async def scenario(svc):
+            return (
+                await svc.handle({"op": "ping", "id": 1}, "c"),
+                await svc.handle({"op": "stats"}, "c"),
+                await svc.handle({"op": "frobnicate"}, "c"),
+            )
+
+        ping, stats, bad = run_service(scenario, cfg)
+        assert ping == {"id": 1, "ok": True, "pong": True}
+        assert stats["stats"]["workers"] == 2
+        assert bad["error"]["code"] == "bad-request"
+
+    def test_shutdown_requires_opt_in(self, tmp_path):
+        async def refused(svc):
+            return await svc.handle({"op": "shutdown"}, "c")
+
+        r = run_service(refused, service_cfg(tmp_path))
+        assert r["error"]["code"] == "shutdown-refused"
+
+        async def honoured(svc):
+            r = await svc.handle({"op": "shutdown"}, "c")
+            return r, svc.shutdown_event.is_set()
+
+        r, is_set = run_service(
+            honoured, service_cfg(tmp_path, allow_shutdown=True)
+        )
+        assert r["ok"] and is_set
+
+    def test_errors_are_responses_not_exceptions(self, tmp_path):
+        cfg = service_cfg(tmp_path)
+
+        async def scenario(svc):
+            return await svc.handle(
+                {"op": "decompose", "matrix": {"path": "/does/not/exist"},
+                 "k": 4}, "c"
+            )
+
+        r = run_service(scenario, cfg)
+        assert r["ok"] is False
+        assert r["error"]["code"] == "bad-request"
+
+
+# ----------------------------------------------------------------------
+# the wire: a real daemon on a UNIX socket
+# ----------------------------------------------------------------------
+class TestEndToEnd:
+    @pytest.fixture
+    def daemon(self, tmp_path):
+        from repro.serve import ServeConfig as SC, run_server
+
+        sock = str(tmp_path / "repro.sock")
+        cfg = SC(
+            port=None, unix_path=sock, n_workers=2, allow_shutdown=True,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        thread = threading.Thread(
+            target=run_server, args=(cfg, False), daemon=True
+        )
+        thread.start()
+        deadline = time.monotonic() + 10
+        while not os.path.exists(sock):
+            assert time.monotonic() < deadline, "daemon never bound"
+            time.sleep(0.02)
+        yield sock
+        from repro.serve.client import Client
+
+        if thread.is_alive():
+            try:
+                with Client(sock) as c:
+                    c.shutdown()
+            except OSError:
+                pass
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    def test_client_round_trip_and_cache_hit(self, daemon, a):
+        from repro.serve.client import Client
+
+        with Client(daemon) as c:
+            assert c.ping()
+            r1 = c.decompose(a, k=4, seed=0)
+            r2 = c.decompose(a, k=4, seed=0)
+            assert r1.served["cache"] == "computed"
+            assert r2.served["cache"] == "hit-memory"
+            assert np.array_equal(r1.part, r2.part)
+            assert json.dumps(r1.raw, sort_keys=True) == json.dumps(
+                r2.raw, sort_keys=True
+            )
+            stats = c.stats()
+            assert stats["counters"]["hits_memory"] == 1
+
+    def test_error_codes_reach_the_client(self, daemon):
+        from repro.serve.client import Client, ServeError
+
+        with Client(daemon) as c:
+            with pytest.raises(ServeError) as exc:
+                c.decompose("fingerprint:" + "0" * 64)
+            assert exc.value.code == "unknown-fingerprint"
+
+    def test_concurrent_clients_share_the_cache(self, daemon, a):
+        from repro.serve.client import Client
+
+        parts = []
+
+        def one(name):
+            with Client(daemon, client_id=name) as c:
+                parts.append(c.decompose(a, k=4, seed=9).part.tobytes())
+
+        threads = [
+            threading.Thread(target=one, args=(f"t{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(parts)) == 1
+
+
+# ----------------------------------------------------------------------
+# reentrancy: concurrent decompose() calls in one process
+# ----------------------------------------------------------------------
+class TestConcurrentDecompose:
+    def test_threads_with_scoped_recorders_match_serial_goldens(self):
+        import repro
+        from repro.telemetry import TelemetryRecorder, scoped_recorder
+
+        cases = [
+            (sp.random(40, 40, density=0.12, format="csr", random_state=s), s)
+            for s in (1, 2, 3)
+        ]
+        goldens = [
+            repro.decompose(m, 4, method="finegrain", seed=s).part
+            for m, s in cases
+        ]
+
+        def one(case):
+            m, s = case
+            with scoped_recorder(TelemetryRecorder()) as rec:
+                res = repro.decompose(m, 4, method="finegrain", seed=s)
+            # the scoped recorder saw this request's engine spans
+            assert rec.roots or rec.orphan_counters
+            return res.part
+
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            parts = list(pool.map(one, cases))
+        for part, golden in zip(parts, goldens):
+            assert np.array_equal(part, golden)
+
+    def test_scoped_recorders_do_not_cross_threads(self):
+        from repro.telemetry import (
+            TelemetryRecorder,
+            get_recorder,
+            scoped_recorder,
+        )
+
+        seen = {}
+
+        def probe(name):
+            with scoped_recorder(TelemetryRecorder()) as rec:
+                time.sleep(0.01)
+                seen[name] = get_recorder() is rec
+
+        threads = [
+            threading.Thread(target=probe, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(seen.values()) and len(seen) == 4
