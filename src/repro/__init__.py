@@ -47,12 +47,15 @@ from repro.errors import ReproFormatError
 from repro.fingerprint import fingerprint
 from repro.hypergraph import Hypergraph, Partition
 from repro.partitioner import (
+    ExecutionPolicy,
+    ModelConfig,
     PartitionerConfig,
     PartitionResult,
     StartStat,
     partition_hypergraph,
     partition_multistart,
 )
+from repro.partitioner import kernel_info as kernels
 from repro.graph import Graph, partition_graph
 from repro.spmv import CommStats, communication_stats, simulate_spmv
 
@@ -75,6 +78,9 @@ __all__ = [
     "Partition",
     "ReproFormatError",
     "fingerprint",
+    "kernels",
+    "ExecutionPolicy",
+    "ModelConfig",
     "PartitionerConfig",
     "PartitionResult",
     "StartStat",

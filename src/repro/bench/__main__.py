@@ -20,6 +20,12 @@ experiments
 multistart
     Benchmark the multi-start engine against the recorded pre-PR
     sequential baseline and write BENCH_multistart.json.
+kernels
+    Microbenchmark the refinement/matching kernel tiers (python / flat /
+    jit) on a synthetic large-net instance — FM inner loop and HCM/HCC
+    matching, per-tier ops/sec and speedup with bit-identity hashes —
+    and write BENCH_kernels.json.  Exits 1 if any tier diverges from
+    the python reference.
 treeparallel
     Benchmark zero-copy shm transport vs pickle and the tree-parallel
     recursion across backends/worker counts (verifying bit-identity);
@@ -72,7 +78,7 @@ def _parse(argv):
         "command",
         choices=[
             "table1", "table2", "summary", "models2d", "experiments",
-            "multistart", "treeparallel", "verify", "serve",
+            "multistart", "treeparallel", "verify", "serve", "kernels",
         ],
     )
     p.add_argument("--output", default="EXPERIMENTS.md",
@@ -164,6 +170,23 @@ def main(argv=None) -> int:
         write_multistart_bench(path, doc)
         print(f"wrote {path}")
         return 0
+
+    if args.command == "kernels":
+        from repro.bench.kernels import run_kernels_bench, write_kernels_bench
+
+        doc = run_kernels_bench(
+            repeats=args.seeds,
+            progress=lambda s: print(f"  {s}", file=sys.stderr),
+        )
+        path = args.output if args.output != "EXPERIMENTS.md" else "BENCH_kernels.json"
+        write_kernels_bench(path, doc)
+        print(f"wrote {path}")
+        summary = doc["summary"]
+        print(
+            f"best FM speedup vs python: x{summary['best_fm_speedup']} "
+            f"(bit-identical: {summary['all_bit_identical']})"
+        )
+        return 0 if summary["all_bit_identical"] else 1
 
     if args.command == "treeparallel":
         from repro.bench.treeparallel import (

@@ -25,6 +25,8 @@ from dataclasses import asdict
 from repro._util import Timer
 from repro.core.api import decompose
 from repro.partitioner import PartitionerConfig
+from repro.partitioner.config import ExecutionPolicy
+from repro.partitioner.kernels import resolve_kernel
 from repro.telemetry import TelemetryRecorder, use_recorder
 
 #: recovery activity that would silently pollute a timing row — recorded
@@ -99,11 +101,16 @@ def run_multistart_bench(
     # zero parallel speedup), not scaling — say so machine-readably
     # instead of letting the row pass as a parallel measurement
     oversubscribed = hardware["usable_cores"] < n_workers
+    # the refinement/matching tier every timed run below executes with —
+    # timings taken under different tiers are not comparable, so the
+    # record says which one was active (REPRO_KERNEL-aware, post-fallback)
+    kernel = resolve_kernel(ExecutionPolicy().kernel)
     out: dict = {
         "bench": "multistart-engine",
         "n_starts": n_starts,
         "n_workers": n_workers,
         "seed": seed,
+        "kernel": kernel,
         "hardware": hardware,
         "oversubscribed": oversubscribed,
         "baseline_commit": baseline.get("commit"),

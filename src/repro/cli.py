@@ -117,6 +117,12 @@ def _parse(argv):
                     help="seed-tree recursion: schedule the two sides of "
                          "every bisection over the worker budget "
                          "(bit-identical at any worker count)")
+    pp.add_argument("--kernel", choices=["auto", "python", "flat", "jit"],
+                    default=None,
+                    help="refinement/matching implementation tier "
+                         "(bit-identical; unavailable tiers fall back "
+                         "jit -> flat -> python; default: REPRO_KERNEL "
+                         "or python)")
     pp.add_argument("--output", default=None,
                     help="write ownership arrays (and the model partition, "
                          "when the model has one) to this .npz file")
@@ -160,6 +166,8 @@ def _parse(argv):
     pa.add_argument("--starts", type=int, default=1)
     pa.add_argument("--workers", type=int, default=1)
     pa.add_argument("--tree-parallel", action="store_true")
+    pa.add_argument("--kernel", choices=["auto", "python", "flat", "jit"],
+                    default=None)
 
     pf = sub.add_parser(
         "profile", help="trace a decomposition + simulated SpMV end to end"
@@ -172,6 +180,8 @@ def _parse(argv):
     pf.add_argument("--starts", type=int, default=1)
     pf.add_argument("--workers", type=int, default=1)
     pf.add_argument("--tree-parallel", action="store_true")
+    pf.add_argument("--kernel", choices=["auto", "python", "flat", "jit"],
+                    default=None)
     pf.add_argument("--depth", type=int, default=4,
                     help="maximum span-tree depth to print")
     pf.add_argument("--trace", default=None,
@@ -252,6 +262,10 @@ def _config_from_args(args) -> PartitionerConfig:
         kwargs["tree_parallel"] = True
     if getattr(args, "retries", None) is not None:
         kwargs["max_retries"] = args.retries
+    if getattr(args, "kernel", None) is not None:
+        # only force the tier when the flag is given, so the REPRO_KERNEL
+        # env default still applies otherwise
+        kwargs["kernel"] = args.kernel
     if getattr(args, "deadline", None) is not None:
         kwargs["deadline"] = args.deadline
     checkpoint = getattr(args, "checkpoint", None)

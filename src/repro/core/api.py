@@ -254,6 +254,7 @@ def decompose(
     deadline: float | None = None,
     checkpoint_path: str | None = None,
     max_retries: int | None = None,
+    kernel: str | None = None,
     verify: bool | None = None,
     **method_kwargs,
 ) -> DecomposeResult:
@@ -284,6 +285,11 @@ def decompose(
         ``result.degraded`` set when it expires — never an exception once
         one start finished), a crash-resumable sweep checkpoint path, and
         the per-start retry budget.
+    kernel:
+        Convenience override for the refinement/matching implementation
+        tier (``"python" | "flat" | "jit" | "auto"``; see
+        :func:`repro.kernels`).  Every tier is bit-identical; an
+        unavailable tier falls back ``jit -> flat -> python``.
     verify:
         Audit the result with the independent oracles of
         :mod:`repro.verify` before returning (balance, cutsize,
@@ -316,6 +322,7 @@ def decompose(
             ("deadline", deadline),
             ("checkpoint_path", checkpoint_path),
             ("max_retries", max_retries),
+            ("kernel", kernel),
         )
         if value is not None
     }

@@ -44,16 +44,23 @@ import numpy as np
 
 __all__ = ["fingerprint", "instance_digest", "seed_digest", "config_digest"]
 
-#: config fields that shape the partition bits — everything else on
-#: :class:`PartitionerConfig` is execution policy (workers, backends,
-#: transport, retries, deadlines) and deliberately excluded so a resumed
-#: or cached sweep may run under different hardware settings
-BIT_FIELDS = (
-    "epsilon", "coarsen_to", "max_coarsen_levels", "min_coarsen_shrink",
-    "matching", "max_net_size_coarsen", "n_initial_starts", "fm_passes",
-    "fm_stall_frac", "fm_stall_min", "fm_boundary_threshold", "n_vcycles",
-    "kway_refine", "kway_passes", "n_runs", "n_starts", "tree_parallel",
-)
+
+def _bit_fields() -> tuple:
+    import dataclasses
+
+    from repro.partitioner.config import ModelConfig
+
+    return tuple(f.name for f in dataclasses.fields(ModelConfig))
+
+
+#: config fields that shape the partition bits — derived from
+#: :class:`~repro.partitioner.config.ModelConfig`, so the type system is
+#: the single source of truth: a field is bit-shaping iff it lives on
+#: ``ModelConfig``.  Everything on
+#: :class:`~repro.partitioner.config.ExecutionPolicy` (workers, backends,
+#: transport, retries, deadlines, kernel tier) is deliberately excluded so
+#: a resumed or cached sweep may run under different hardware settings.
+BIT_FIELDS = _bit_fields()
 
 
 def _digest_array(arr) -> str:
@@ -127,12 +134,27 @@ def seed_digest(seed) -> object:
 
 
 def config_digest(config) -> dict:
-    """The bit-shaping slice of a :class:`PartitionerConfig` (or ``None``
-    for the defaults)."""
-    from repro.partitioner.config import PartitionerConfig
+    """The bit-shaping slice of a config.
 
-    cfg = config if config is not None else PartitionerConfig()
-    return {name: getattr(cfg, name) for name in BIT_FIELDS}
+    Accepts a :class:`~repro.partitioner.config.PartitionerConfig` (its
+    ``.model`` half is digested), a bare
+    :class:`~repro.partitioner.config.ModelConfig`, or ``None`` for the
+    defaults.  Execution policy can never leak into the digest: the
+    fields are read off the ``ModelConfig`` dataclass itself.
+    """
+    import dataclasses
+
+    from repro.partitioner.config import ModelConfig
+
+    if config is None:
+        model = ModelConfig()
+    elif isinstance(config, ModelConfig):
+        model = config
+    else:
+        model = config.model
+    return {
+        f.name: getattr(model, f.name) for f in dataclasses.fields(ModelConfig)
+    }
 
 
 def fingerprint(

@@ -24,17 +24,26 @@ Fixed vertices (pre-assigned parts) are honoured throughout, supporting the
 paper's reduction-problem extension.
 """
 
-from repro.partitioner.config import PartitionerConfig
+from repro.partitioner.config import (
+    ExecutionPolicy,
+    ModelConfig,
+    PartitionerConfig,
+)
 from repro.partitioner.driver import PartitionResult, partition_hypergraph
 from repro.partitioner.engine import StartStat, partition_multistart
+from repro.partitioner.kernels import kernel_info, resolve_kernel
 from repro.partitioner.pool import TreeScheduler, WorkerBudget
 
 __all__ = [
+    "ExecutionPolicy",
+    "ModelConfig",
     "PartitionerConfig",
     "PartitionResult",
     "StartStat",
     "TreeScheduler",
     "WorkerBudget",
+    "kernel_info",
     "partition_hypergraph",
     "partition_multistart",
+    "resolve_kernel",
 ]

@@ -1,11 +1,35 @@
-"""Configuration of the multilevel hypergraph partitioner."""
+"""Configuration of the multilevel hypergraph partitioner.
+
+The configuration is split along the line the fingerprint subsystem
+enforces (:mod:`repro.fingerprint`):
+
+* :class:`ModelConfig` — every knob that shapes which partition comes
+  out (the bit-shaping fields).  ``repro.fingerprint()`` draws from this
+  class directly, so adding a field here automatically makes it part of
+  a request's content-addressed identity.
+* :class:`ExecutionPolicy` — workers, backends, transports, retries,
+  deadlines, checkpoints and the refinement *kernel* tier.  Changing any
+  of these must never move a bit; they are deliberately excluded from
+  the fingerprint so the same request served on different hardware hits
+  the same cache entry.
+
+:class:`PartitionerConfig` composes the two and keeps the original flat
+keyword API working (``PartitionerConfig(epsilon=0.1, n_workers=4)``)
+as a back-compat shim — attribute access, ``with_()`` and pickling all
+behave exactly as before the split.
+"""
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
-__all__ = ["PartitionerConfig"]
+__all__ = ["ModelConfig", "ExecutionPolicy", "PartitionerConfig", "KERNELS"]
+
+#: the kernel tiers of the refinement/matching hot path, in fallback
+#: order (``resolve_kernel`` walks right from the requested tier until
+#: one is available; see :mod:`repro.partitioner.kernels`)
+KERNELS = ("jit", "flat", "python")
 
 
 def _env_bool(name: str, fallback: bool) -> bool:
@@ -40,12 +64,14 @@ def _env_float(name: str, fallback: float | None) -> float | None:
 
 
 @dataclass(frozen=True)
-class PartitionerConfig:
-    """Tuning knobs of :func:`repro.partitioner.partition_hypergraph`.
+class ModelConfig:
+    """The bit-shaping knobs: everything that decides which partition
+    comes out.
 
     The defaults mirror the paper's experimental setup where it specifies
     one (``epsilon = 0.03``: "percent load imbalance values are below 3%")
-    and PaToH's defaults in spirit elsewhere.
+    and PaToH's defaults in spirit elsewhere.  ``repro.fingerprint()``
+    digests exactly these fields — execution policy never participates.
     """
 
     #: maximum allowed imbalance ratio of Eq. 1 (paper: 3%)
@@ -92,6 +118,48 @@ class PartitionerConfig:
     #: by (balance excess, cutsize, start index) wins.  ``1`` runs the
     #: legacy single-start pipeline unchanged (bit-identical results).
     n_starts: int = 1
+    #: schedule the two subproblems of every bisection as independent tasks
+    #: over the shared worker budget (see :mod:`repro.partitioner.pool`).
+    #: Seeds come from a deterministic per-node seed tree, so the result is
+    #: bit-identical to ``tree_parallel=True`` at any worker count and any
+    #: backend — but NOT to the legacy sequential-stream recursion
+    #: (``tree_parallel=False``), which threads one RNG through the tree in
+    #: visit order.  That is why this field lives here and not on
+    #: :class:`ExecutionPolicy`: flipping it changes which partition comes
+    #: out.  Env-overridable default: ``REPRO_TREE_PARALLEL``.
+    tree_parallel: bool = field(
+        default_factory=lambda: _env_bool("REPRO_TREE_PARALLEL", False)
+    )
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if self.matching not in ("hcc", "hcm", "none"):
+            raise ValueError(f"unknown matching scheme {self.matching!r}")
+        if self.coarsen_to < 2:
+            raise ValueError("coarsen_to must be at least 2")
+        if self.n_initial_starts < 1 or self.n_runs < 1:
+            raise ValueError("n_initial_starts and n_runs must be >= 1")
+        if self.n_vcycles < 0:
+            raise ValueError("n_vcycles must be >= 0")
+        if self.n_starts < 1:
+            raise ValueError("n_starts and n_workers must be >= 1")
+
+    def with_(self, **kwargs) -> "ModelConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a partition is computed, never what comes out.
+
+    Every field here may change between machines, reruns and resumed
+    sweeps without moving a single bit of the result — the verify
+    subsystem's replay matrix asserts exactly that.  None of these
+    participate in ``repro.fingerprint()``.
+    """
+
     #: worker processes/threads shared by the multi-start engine and the
     #: tree-parallel recursion (one budget: starts x subtrees never
     #: oversubscribe it); ``1`` runs everything sequentially in-process.
@@ -104,16 +172,6 @@ class PartitionerConfig:
     #: Env-overridable default: ``REPRO_START_BACKEND``.
     start_backend: str = field(
         default_factory=lambda: _env_str("REPRO_START_BACKEND", "auto")
-    )
-    #: schedule the two subproblems of every bisection as independent tasks
-    #: over the shared worker budget (see :mod:`repro.partitioner.pool`).
-    #: Seeds come from a deterministic per-node seed tree, so the result is
-    #: bit-identical to ``tree_parallel=True`` at any worker count and any
-    #: backend — but NOT to the legacy sequential-stream recursion
-    #: (``tree_parallel=False``), which threads one RNG through the tree in
-    #: visit order.  Env-overridable default: ``REPRO_TREE_PARALLEL``.
-    tree_parallel: bool = field(
-        default_factory=lambda: _env_bool("REPRO_TREE_PARALLEL", False)
     )
     #: maximum recursion-tree depth at which subtree tasks may be handed to
     #: the worker pool (the fan-out frontier: at most ``2**spawn_depth``
@@ -202,19 +260,19 @@ class PartitionerConfig:
     heartbeat_timeout: float = field(
         default_factory=lambda: _env_float("REPRO_HEARTBEAT_TIMEOUT", 30.0) or 30.0
     )
+    #: implementation tier of the FM refinement and matching hot loops:
+    #: "python" (the pure-Python reference), "flat" (numpy flat-array
+    #: buckets + vectorized gain updates), "jit" (numba-compiled move
+    #: loop, requires numba), or "auto" (best available tier).  Every
+    #: tier is bit-identical — the verify subsystem's replay matrix
+    #: asserts it — so this is execution policy, not model.  A requested
+    #: tier that is unavailable falls back ``jit -> flat -> python``
+    #: (see :func:`repro.partitioner.kernels.resolve_kernel`).
+    #: Env-overridable default: ``REPRO_KERNEL``.
+    kernel: str = field(default_factory=lambda: _env_str("REPRO_KERNEL", "python"))
 
     def __post_init__(self) -> None:
-        if self.epsilon < 0:
-            raise ValueError("epsilon must be non-negative")
-        if self.matching not in ("hcc", "hcm", "none"):
-            raise ValueError(f"unknown matching scheme {self.matching!r}")
-        if self.coarsen_to < 2:
-            raise ValueError("coarsen_to must be at least 2")
-        if self.n_initial_starts < 1 or self.n_runs < 1:
-            raise ValueError("n_initial_starts and n_runs must be >= 1")
-        if self.n_vcycles < 0:
-            raise ValueError("n_vcycles must be >= 0")
-        if self.n_starts < 1 or self.n_workers < 1:
+        if self.n_workers < 1:
             raise ValueError("n_starts and n_workers must be >= 1")
         if self.start_backend not in ("auto", "process", "thread", "serial"):
             raise ValueError(f"unknown start_backend {self.start_backend!r}")
@@ -236,7 +294,123 @@ class PartitionerConfig:
             raise ValueError(
                 "heartbeat_interval and heartbeat_timeout must be positive"
             )
+        if self.kernel not in ("auto",) + KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; "
+                f"expected one of {('auto',) + KERNELS}"
+            )
 
-    def with_(self, **kwargs) -> "PartitionerConfig":
+    def with_(self, **kwargs) -> "ExecutionPolicy":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
+
+
+_MODEL_FIELDS = frozenset(f.name for f in fields(ModelConfig))
+_EXECUTION_FIELDS = frozenset(f.name for f in fields(ExecutionPolicy))
+
+
+class PartitionerConfig:
+    """Tuning knobs of :func:`repro.partitioner.partition_hypergraph`.
+
+    A composition of :class:`ModelConfig` (``.model``, the bit-shaping
+    fields) and :class:`ExecutionPolicy` (``.execution``, the
+    how-to-compute fields).  The pre-split flat API still works — both
+    construction and attribute access::
+
+        >>> cfg = PartitionerConfig(epsilon=0.1, n_workers=4)
+        >>> cfg.epsilon, cfg.n_workers
+        (0.1, 4)
+        >>> cfg.model.epsilon, cfg.execution.n_workers
+        (0.1, 4)
+
+    New code should prefer passing the sub-configs explicitly::
+
+        >>> cfg = PartitionerConfig(
+        ...     model=ModelConfig(epsilon=0.1),
+        ...     execution=ExecutionPolicy(n_workers=4),
+        ... )
+    """
+
+    __slots__ = ("model", "execution")
+
+    def __init__(
+        self,
+        model: ModelConfig | None = None,
+        execution: ExecutionPolicy | None = None,
+        **kwargs,
+    ):
+        if kwargs:
+            mk = {k: v for k, v in kwargs.items() if k in _MODEL_FIELDS}
+            ek = {k: v for k, v in kwargs.items() if k in _EXECUTION_FIELDS}
+            unknown = set(kwargs) - _MODEL_FIELDS - _EXECUTION_FIELDS
+            if unknown:
+                raise TypeError(
+                    f"PartitionerConfig got unexpected keyword arguments "
+                    f"{sorted(unknown)}"
+                )
+            if mk and model is not None:
+                raise TypeError(
+                    f"cannot combine model= with flat model kwargs {sorted(mk)}"
+                )
+            if ek and execution is not None:
+                raise TypeError(
+                    "cannot combine execution= with flat execution kwargs "
+                    f"{sorted(ek)}"
+                )
+            model = model if model is not None else ModelConfig(**mk)
+            execution = execution if execution is not None else ExecutionPolicy(**ek)
+        object.__setattr__(self, "model", model or ModelConfig())
+        object.__setattr__(self, "execution", execution or ExecutionPolicy())
+
+    def __getattr__(self, name: str):
+        # flat back-compat access: cfg.epsilon / cfg.n_workers keep working
+        if name in _MODEL_FIELDS:
+            return getattr(self.model, name)
+        if name in _EXECUTION_FIELDS:
+            return getattr(self.execution, name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def __setattr__(self, name, value):
+        raise AttributeError("PartitionerConfig is immutable; use with_()")
+
+    def __delattr__(self, name):
+        raise AttributeError("PartitionerConfig is immutable; use with_()")
+
+    def with_(self, **kwargs) -> "PartitionerConfig":
+        """Return a copy with the given fields replaced.
+
+        Accepts the flat field names (routed to the owning sub-config)
+        as well as ``model=`` / ``execution=`` wholesale replacements.
+        """
+        model = kwargs.pop("model", None) or self.model
+        execution = kwargs.pop("execution", None) or self.execution
+        mk = {k: v for k, v in kwargs.items() if k in _MODEL_FIELDS}
+        ek = {k: v for k, v in kwargs.items() if k in _EXECUTION_FIELDS}
+        unknown = set(kwargs) - _MODEL_FIELDS - _EXECUTION_FIELDS
+        if unknown:
+            raise TypeError(f"unknown config fields {sorted(unknown)}")
+        if mk:
+            model = replace(model, **mk)
+        if ek:
+            execution = replace(execution, **ek)
+        return PartitionerConfig(model=model, execution=execution)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PartitionerConfig):
+            return NotImplemented
+        return self.model == other.model and self.execution == other.execution
+
+    def __hash__(self) -> int:
+        return hash((self.model, self.execution))
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionerConfig(model={self.model!r}, "
+            f"execution={self.execution!r})"
+        )
+
+    def __reduce__(self):
+        # configs cross process boundaries (engine workers, serve daemon)
+        return (PartitionerConfig, (self.model, self.execution))

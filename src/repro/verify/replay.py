@@ -2,7 +2,9 @@
 
 PRs 2–3 added three orthogonal execution knobs — the multi-start backend
 (serial/thread/process), the tree-parallel recursion, and the shm
-transport — each promising not to change a single output bit.  This module
+transport — and PR 7 added a fourth, the refinement/matching kernel tier
+(python/flat/jit) — each promising not to change a single output bit.
+This module
 replays one ``decompose()`` call across the whole grid and diffs the
 results stage by stage, reporting the *first* divergent stage per variant:
 
@@ -58,10 +60,17 @@ class ReplayVariant:
     backend: str  # start_backend: "serial" | "thread" | "process"
     shm: bool
     tree_parallel: bool
+    kernel: str = "python"  # refinement/matching tier, bit-identical by contract
 
     @property
     def universe(self) -> str:
-        """Determinism universe this variant must be bit-identical within."""
+        """Determinism universe this variant must be bit-identical within.
+
+        The kernel tier is deliberately *not* part of the universe: every
+        tier promises the same bits, so kernel variants are diffed against
+        the python reference of their universe rather than forming their
+        own group.
+        """
         return "tree" if self.tree_parallel else "legacy"
 
 
@@ -74,6 +83,7 @@ class ReplayRun:
     shm: bool
     tree_parallel: bool
     universe: str
+    kernel: str = "python"
     cutsize: int | None = None
     imbalance: float | None = None
     part_sha: str | None = None
@@ -145,11 +155,14 @@ class ReplayReport:
 
 
 def default_variants() -> list[ReplayVariant]:
-    """The full grid: serial/thread/process × shm on/off × tree on/off.
+    """The full grid: backends × shm × tree, plus the kernel universe.
 
     ``shm`` only matters for the process backend, so the pickle/shm pair is
     enumerated there only; the serial variant of each universe is the
-    reference the others are diffed against.
+    reference the others are diffed against.  The kernel tiers (flat, jit)
+    ride on the serial backend of each universe — they promise the same
+    bits as the python reference, and an unavailable tier falls back
+    (jit -> flat -> python), which must itself be bit-identical.
     """
     out: list[ReplayVariant] = []
     for tree in (False, True):
@@ -158,6 +171,12 @@ def default_variants() -> list[ReplayVariant]:
         out.append(ReplayVariant(f"thread{suffix}", "thread", False, tree))
         out.append(ReplayVariant(f"process{suffix}", "process", False, tree))
         out.append(ReplayVariant(f"process+shm{suffix}", "process", True, tree))
+        for kern in ("flat", "jit"):
+            out.append(
+                ReplayVariant(
+                    f"serial+{kern}{suffix}", "serial", False, tree, kernel=kern
+                )
+            )
     return out
 
 
@@ -245,6 +264,7 @@ def replay_decompose(
             shm_transport=v.shm,
             tree_parallel=v.tree_parallel,
             early_stop_cut=None,
+            kernel=v.kernel,
         )
         run = ReplayRun(
             label=v.label,
@@ -252,6 +272,7 @@ def replay_decompose(
             shm=v.shm,
             tree_parallel=v.tree_parallel,
             universe=v.universe,
+            kernel=v.kernel,
         )
         try:
             with use_recorder() as rec:
