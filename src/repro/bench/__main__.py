@@ -26,6 +26,13 @@ kernels
     matching, per-tier ops/sec and speedup with bit-identity hashes —
     and write BENCH_kernels.json.  Exits 1 if any tier diverges from
     the python reference.
+vcycle
+    End-to-end ``decompose()`` benchmark per kernel tier with a
+    telemetry phase breakdown (matching, coarse build, initial, FM,
+    K-way) — the Amdahl view the kernels microbench cannot give — and
+    write BENCH_vcycle.json.  ``--quick`` shrinks the instances to a CI
+    smoke.  Exits 1 if any tier's partition diverges from the python
+    reference.
 treeparallel
     Benchmark zero-copy shm transport vs pickle and the tree-parallel
     recursion across backends/worker counts (verifying bit-identity);
@@ -79,8 +86,12 @@ def _parse(argv):
         choices=[
             "table1", "table2", "summary", "models2d", "experiments",
             "multistart", "treeparallel", "verify", "serve", "kernels",
+            "vcycle",
         ],
     )
+    p.add_argument("--quick", action="store_true",
+                   help="vcycle command: small instances, one repetition "
+                        "(CI smoke)")
     p.add_argument("--output", default="EXPERIMENTS.md",
                    help="output path for the experiments command")
     p.add_argument("--export", default=None,
@@ -184,6 +195,24 @@ def main(argv=None) -> int:
         summary = doc["summary"]
         print(
             f"best FM speedup vs python: x{summary['best_fm_speedup']} "
+            f"(bit-identical: {summary['all_bit_identical']})"
+        )
+        return 0 if summary["all_bit_identical"] else 1
+
+    if args.command == "vcycle":
+        from repro.bench.vcycle import run_vcycle_bench, write_vcycle_bench
+
+        doc = run_vcycle_bench(
+            repeats=args.seeds,
+            quick=args.quick,
+            progress=lambda s: print(f"  {s}", file=sys.stderr),
+        )
+        path = args.output if args.output != "EXPERIMENTS.md" else "BENCH_vcycle.json"
+        write_vcycle_bench(path, doc)
+        print(f"wrote {path}")
+        summary = doc["summary"]
+        print(
+            f"e2e speedup vs python: {summary['e2e_speedup_by_instance']} "
             f"(bit-identical: {summary['all_bit_identical']})"
         )
         return 0 if summary["all_bit_identical"] else 1

@@ -443,13 +443,13 @@ def run_kernels_bench(
         "work (gain initialization, bucket seeding) both tiers share.",
         "matching times one full HCC clustering sweep per repetition on "
         "a community-structured instance (nets confined to vertex "
-        "blocks, so candidate grouping amortizes); it sits below the "
-        "_VECTOR_MIN_PINS heuristic so the python tier runs its scalar "
-        "loop (as on the small hypergraphs of deep recursive bisection) "
-        "while flat always batches.  Near-1x is expected here: the "
-        "production heuristic picks scalar below the threshold exactly "
-        "because batching stops paying — this row demonstrates "
-        "bit-identity of the forced-batched path, not a speedup.",
+        "blocks).  The flat tier routes to the scalar loop with "
+        "per-vertex batching of dense scoring expansions — the former "
+        "whole-chunk batched path measured 0.94x (its sort-based merge "
+        "of duplicate candidate pairs ate the vectorization win) and "
+        "is no longer routed, so near-1x-or-better is the expected "
+        "reading: the flat matching tier must never lose to the "
+        "reference, and the row proves its bit-identity.",
         "speedup_vs_python is only reported for rows whose outputs "
         "hashed bit-identical to the python reference.",
         "all tiers run single-threaded; these numbers do not depend on "

@@ -1,0 +1,126 @@
+"""Scratch-buffer arena reused across V-cycle levels and multi-starts.
+
+Every FM pass, GHG start, and coarsening level allocates a handful of
+vertex-sized scratch arrays (gain vectors, eligibility masks, bucket
+membership flags).  On a multilevel run those allocations repeat once per
+pass x level x start — dozens of times over buffers whose size only
+shrinks as coarsening proceeds.  :class:`LevelArena` keeps one buffer per
+*site key* and hands out prefix views, so the finest level's allocation is
+the only one that ever hits the allocator.
+
+Usage contract:
+
+* A key identifies a *call site*, not a buffer instance.  Two takes of the
+  same key alias each other, so a site may only re-take its key after the
+  previous view is dead.  The V-cycle is strictly sequential per thread
+  (passes never nest), which is what makes the fixed key set in
+  :mod:`~repro.partitioner.fm_flat` safe.
+* Views never escape their pass: the flat engines convert state back to
+  python lists (``writeback``) or copy (``astype``) before returning.
+* The arena is thread-local.  Worker threads of the tree scheduler simply
+  see no arena and fall back to plain allocation — correctness never
+  depends on the arena being active.
+
+Telemetry: ``arena.allocs`` / ``arena.reuses`` / ``arena.bytes`` counters
+are flushed when the outermost :func:`use_arena` exits, so ``repro
+profile`` can show the allocation traffic the arena absorbed.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.telemetry import get_recorder
+
+__all__ = ["LevelArena", "current_arena", "scratch", "use_arena"]
+
+_TLS = threading.local()
+
+
+class LevelArena:
+    """Keyed pool of grow-only numpy scratch buffers."""
+
+    __slots__ = ("_bufs", "allocs", "reuses", "bytes_allocated")
+
+    def __init__(self) -> None:
+        self._bufs: dict[str, np.ndarray] = {}
+        self.allocs = 0
+        self.reuses = 0
+        self.bytes_allocated = 0
+
+    def take(self, key: str, n: int, dtype=np.int64, zero: bool = False):
+        """A length-*n* view of the buffer for *key* (uninitialized unless
+        ``zero``).  Grows geometrically on miss so a V-cycle's shrinking
+        levels settle on one allocation per key."""
+        dt = np.dtype(dtype)
+        buf = self._bufs.get(key)
+        if buf is None or buf.dtype != dt or len(buf) < n:
+            cap = max(n, 16)
+            if buf is not None and buf.dtype == dt:
+                cap = max(cap, 2 * len(buf))
+            buf = np.zeros(cap, dtype=dt) if zero else np.empty(cap, dtype=dt)
+            self._bufs[key] = buf
+            self.allocs += 1
+            self.bytes_allocated += buf.nbytes
+            return buf[:n]
+        self.reuses += 1
+        out = buf[:n]
+        if zero:
+            out[...] = 0
+        return out
+
+    def stats(self) -> dict:
+        return {
+            "allocs": self.allocs,
+            "reuses": self.reuses,
+            "bytes": self.bytes_allocated,
+            "keys": len(self._bufs),
+        }
+
+
+def current_arena() -> LevelArena | None:
+    """The arena active on this thread, or None."""
+    return getattr(_TLS, "arena", None)
+
+
+def scratch(key: str, n: int, dtype=np.int64, zero: bool = False):
+    """Arena-backed allocation with a plain numpy fallback.
+
+    The single allocation entry point for per-pass scratch: callers get a
+    reused view when an arena is active and a fresh array otherwise, so
+    every code path works identically with or without :func:`use_arena`.
+    """
+    arena = current_arena()
+    if arena is None:
+        return (
+            np.zeros(n, dtype=dtype) if zero else np.empty(n, dtype=dtype)
+        )
+    return arena.take(key, n, dtype, zero)
+
+
+@contextmanager
+def use_arena(arena: LevelArena | None = None):
+    """Activate a :class:`LevelArena` for this thread.
+
+    Reentrant: nested activations (recursive bisection re-enters the
+    partitioner) join the outer arena, and only the outermost exit flushes
+    the telemetry counters.
+    """
+    prev = current_arena()
+    if prev is not None and arena is None:
+        yield prev
+        return
+    arena = arena if arena is not None else LevelArena()
+    _TLS.arena = arena
+    try:
+        yield arena
+    finally:
+        _TLS.arena = prev
+        rec = get_recorder()
+        if rec.enabled:
+            rec.add("arena.allocs", arena.allocs)
+            rec.add("arena.reuses", arena.reuses)
+            rec.add("arena.bytes", arena.bytes_allocated)

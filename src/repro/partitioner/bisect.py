@@ -44,11 +44,20 @@ def multilevel_bisect(
         part, cut = fm_refine_bisection(
             coarsest, part, max_weights, cfg, rng, coarsest_fixed
         )
-        for level in reversed(levels):
-            part = part[level.cmap]  # project onto the finer hypergraph
-            part, cut = fm_refine_bisection(
-                level.fine, part, max_weights, cfg, rng, level.fixed
-            )
+        for depth, level in enumerate(reversed(levels)):
+            # per-level spans so `repro profile` can attribute refinement
+            # cost to hypergraph size as the projection walks back up
+            with rec.span(
+                "uncoarsen.level",
+                level=len(levels) - 1 - depth,
+                vertices=level.fine.num_vertices,
+                nets=level.fine.num_nets,
+                pins=level.fine.num_pins,
+            ):
+                part = part[level.cmap]  # project onto the finer hypergraph
+                part, cut = fm_refine_bisection(
+                    level.fine, part, max_weights, cfg, rng, level.fixed
+                )
         usp.set(cut=cut)
 
     for cycle in range(cfg.n_vcycles if cfg.matching != "none" else 0):

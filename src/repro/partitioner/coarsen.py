@@ -52,9 +52,31 @@ _VERTEX_VECTOR_MIN = 3000
 #: whose vectorized dedup pays off earlier than the matcher's
 _VECTOR_MIN_PINS_BUILD = 100_000
 
+#: below this pin count the flat build tier routes to the per-net
+#: reference loop: the sort/unique pin remap has O(pins log pins) fixed
+#: cost that measures slower than the dict dedup until well past 100k
+#: pins (see docs/performance.md).  Bit-identical either way.
+_BUILD_FLAT_MIN_PINS = 150_000
+
 #: the dense-vertex branch needs O(pins) numpy precomputation per
 #: match_vertices call; skip it entirely for tiny hypergraphs
 _DENSE_AUX_MIN = 4096
+
+
+def _argsort_ids(keys: np.ndarray, hi: int) -> np.ndarray:
+    """Stable argsort of non-negative ids ``< hi`` via uint16 radix passes.
+
+    numpy's stable argsort only takes its radix path for <= 16-bit keys
+    (an int64 stable argsort measures ~6x slower at the same length), so
+    wider ids sort low-half then high-half: two stable passes over
+    subkeys compose into one stable sort of the full key.  Ids here are
+    vertex/chunk indices, always < 2**32.
+    """
+    if hi <= (1 << 16):
+        return np.argsort(keys.astype(np.uint16), kind="stable")
+    s = np.argsort((keys & 0xFFFF).astype(np.uint16), kind="stable")
+    high = (keys >> 16).astype(np.uint16)
+    return s[np.argsort(high[s], kind="stable")]
 
 
 def _score_aux(
@@ -140,15 +162,13 @@ def _chunk_candidates(
 
     # group by (chunk position, candidate); two stable sorts — by
     # candidate, then by chunk position — equal one stable sort by the
-    # (position, candidate) pair, and narrow keys make numpy's stable
-    # sort a radix sort (O(n)) where they fit.  Stability keeps duplicate
+    # (position, candidate) pair, and :func:`_argsort_ids` runs every
+    # pass as a uint16 radix sort (O(n)).  Stability keeps duplicate
     # pairs in net order so the sequential accumulation below reproduces
     # the scalar float accumulation exactly.
-    ck = cand.astype(np.uint16) if nv <= (1 << 16) else cand
-    s1 = np.argsort(ck, kind="stable")
+    s1 = _argsort_ids(cand, nv)
     ol = owner_local[s1]
-    olk = ol.astype(np.uint16) if m <= (1 << 16) else ol
-    perm = s1[np.argsort(olk, kind="stable")]
+    perm = s1[_argsort_ids(ol, m)]
     oo = owner_local[perm]
     co = cand[perm]
     boundary = np.r_[True, (oo[1:] != oo[:-1]) | (co[1:] != co[:-1])]
@@ -193,18 +213,21 @@ def match_vertices(
     cluster with vertices of the same part, so the partition projects
     exactly onto the coarse hypergraph.
 
-    Above :data:`_VECTOR_MIN_PINS` pins, the per-pin scoring runs as
+    *kernel* picks the implementation tier (see
+    :mod:`repro.partitioner.kernels`): ``"python"`` is the pure reference
+    loop (the differential-testing oracle — one interpreted comparison
+    per pin, no batching); ``"flat"`` is the adaptive tier: above
+    :data:`_VECTOR_MIN_PINS` pins the per-pin scoring runs as
     numpy-batched passes over the CSR pin arrays, one permutation-order
     chunk at a time (scores depend only on the hypergraph, never on
-    cluster state, so batching ahead of the greedy selection is exact);
-    the greedy selection itself stays sequential, preserving the classic
-    HCM/HCC semantics bit for bit.  Below the threshold a scalar loop is
-    used — the two paths produce identical output.
-
-    *kernel* picks the implementation tier (see
-    :mod:`repro.partitioner.kernels`): ``"python"`` keeps the pin-count
-    heuristic above, ``"flat"`` always uses the batched scorer, ``"jit"``
-    runs the numba-compiled scalar loop.  All tiers are bit-identical.
+    cluster state, so batching ahead of the greedy selection is exact),
+    below it the scalar loop runs with one-vertex batching of dense
+    scoring expansions — the greedy selection itself always stays
+    sequential, preserving the classic HCM/HCC semantics bit for bit.
+    ``"jit"`` runs the numba-compiled scalar loop.  All tiers produce
+    identical output; the gates were placed by measurement (chunked
+    scoring loses below a few hundred thousand pins — see
+    docs/performance.md).
     """
     nv = h.num_vertices
     if max_cluster_weight is None:
@@ -222,16 +245,31 @@ def match_vertices(
 
     if kernel == "jit":
         from repro.partitioner.fm_jit import match_jit as matcher
-    elif kernel == "flat" or h.num_pins >= _VECTOR_MIN_PINS:
-        matcher = _match_chunked
-    else:
+    elif kernel == "flat":
+        # adaptive: the scalar loop with per-vertex batching of dense
+        # scoring expansions.  Whole-chunk batch scoring
+        # (:func:`_match_chunked`) measures slower than this on every
+        # overlap regime benched so far — the sort-based merge of
+        # duplicate candidate pairs eats the vectorization win (the
+        # 0.94x forced-batch regression in BENCH_kernels.json) — so the
+        # flat tier only batches where batching provably pays: single
+        # vertices whose expansion clears _VERTEX_VECTOR_MIN.
         matcher = _match_scalar
-    pins_visited = matcher(
-        h, order, part_l, w, fix, cluster, cweight, cfixed,
-        hcm, max_net_size, max_cluster_weight,
-    )
-
+    else:
+        matcher = _match_reference
     rec = get_recorder()
+    with rec.span(
+        "coarsen.match",
+        vertices=nv,
+        nets=h.num_nets,
+        pins=h.num_pins,
+        kernel=kernel,
+    ):
+        pins_visited = matcher(
+            h, order, part_l, w, fix, cluster, cweight, cfixed,
+            hcm, max_net_size, max_cluster_weight,
+        )
+
     if rec.enabled:
         rec.add("coarsen.pins_visited", pins_visited)
         rec.add("coarsen.clusters", len(cweight))
@@ -259,10 +297,9 @@ def _dense_candidates(
     if len(cand) == 0:
         return []
     scs = np.repeat(net_score[ns], cnt)[keep]
-    # narrow key -> radix sort; bincount accumulates weights in input
-    # order exactly like the unbuffered np.add.at it replaces
-    ck = cand.astype(np.uint16) if h.num_vertices <= (1 << 16) else cand
-    perm = np.argsort(ck, kind="stable")
+    # radix argsort; bincount accumulates weights in input order exactly
+    # like the unbuffered np.add.at it replaces
+    perm = _argsort_ids(cand, h.num_vertices)
     cs = cand[perm]
     boundary = np.r_[True, cs[1:] != cs[:-1]]
     grp = np.flatnonzero(boundary)
@@ -285,12 +322,14 @@ def _match_scalar(
     hcm: bool,
     max_net_size: int,
     max_cluster_weight: int,
+    dense_ok: bool = True,
 ) -> int:
-    """Reference scalar matching loop (fast on small hypergraphs).
+    """Scalar matching loop (fast on small hypergraphs).
 
-    Vertices whose scoring expansion is dense (``_VERTEX_VECTOR_MIN``)
-    are scored by a one-vertex batched pass — same candidates, same float
-    accumulation order, same selection result as the per-pin loop.
+    With *dense_ok*, vertices whose scoring expansion is dense
+    (``_VERTEX_VECTOR_MIN``) are scored by a one-vertex batched pass —
+    same candidates, same float accumulation order, same selection result
+    as the per-pin loop.  Without it this is the pure per-pin reference.
     """
     nv = h.num_vertices
     xnets = h.xnets_list()
@@ -300,10 +339,26 @@ def _match_scalar(
     costs = h.costs_list()
 
     dense_aux = None
-    if h.num_pins >= _DENSE_AUX_MIN:
-        sizes_np, valid_np, net_score, expand_np = _score_aux(h, max_net_size)
-        expand = h._view(f"expand_l_{max_net_size}", expand_np.tolist)
-        dense_aux = (valid_np, sizes_np, net_score)
+    if dense_ok and h.num_pins >= _DENSE_AUX_MIN:
+        # cheap upper bound on any vertex's scoring expansion: no vertex
+        # can expand past max_degree * largest eligible net.  Fine-grain
+        # levels (degree <= 2, nets capped at max_net_size) can never
+        # reach _VERTEX_VECTOR_MIN, so they skip the _score_aux setup
+        # entirely instead of paying O(pins) for a path that never fires.
+        max_deg = h._view(
+            "max_degree",
+            lambda: int(np.diff(h.xnets).max()) if h.num_vertices else 0,
+        )
+        max_sz = h._view(
+            "max_net_size",
+            lambda: int(np.diff(h.xpins).max()) if h.num_nets else 0,
+        )
+        if max_deg * min(max_sz, max_net_size) >= _VERTEX_VECTOR_MIN:
+            sizes_np, valid_np, net_score, expand_np = _score_aux(
+                h, max_net_size
+            )
+            expand = h._view(f"expand_l_{max_net_size}", expand_np.tolist)
+            dense_aux = (valid_np, sizes_np, net_score)
 
     # flat score accumulator: positive increments only, so score == 0.0
     # doubles as the "untouched" marker (cheaper than a dict by ~2x on the
@@ -404,6 +459,30 @@ def _match_scalar(
     return pins_visited
 
 
+def _match_reference(
+    h: Hypergraph,
+    order: np.ndarray,
+    part_l: list[int] | None,
+    w: list[int],
+    fix: list[int] | None,
+    cluster: list[int],
+    cweight: list[int],
+    cfixed: list[int],
+    hcm: bool,
+    max_net_size: int,
+    max_cluster_weight: int,
+) -> int:
+    """The ``python`` tier: the pure per-pin reference loop, no batching.
+
+    This is the differential-testing oracle the flat/jit tiers are
+    measured against; it trades speed on dense instances for one
+    obviously-sequential interpreted loop."""
+    return _match_scalar(
+        h, order, part_l, w, fix, cluster, cweight, cfixed,
+        hcm, max_net_size, max_cluster_weight, dense_ok=False,
+    )
+
+
 def _match_chunked(
     h: Hypergraph,
     order: np.ndarray,
@@ -484,14 +563,74 @@ def _match_chunked(
     return pins_visited
 
 
-def build_coarse(h: Hypergraph, cmap: np.ndarray, n_clusters: int) -> Hypergraph:
+def _build_reference(
+    h: Hypergraph, cmap: np.ndarray, n_clusters: int, cw: np.ndarray
+) -> Hypergraph:
+    """The ``python`` tier of :func:`build_coarse`: one interpreted loop
+    per net — remap pins through the cluster map, collapse duplicates,
+    drop single-pin nets, merge identical nets via a dict.  The oracle
+    the flat path is differential-tested against."""
+    cmap_l = cmap.tolist()
+    xpins = h.xpins_list()
+    pins = h.pins_list()
+    costs = h.costs_list()
+    flat_pins: list[int] = []
+    counts: list[int] = []
+    new_costs: list[int] = []
+    seen: dict[tuple[int, ...], int] = {}
+    for n in range(h.num_nets):
+        seg = sorted({cmap_l[p] for p in pins[xpins[n] : xpins[n + 1]]})
+        if len(seg) < 2:
+            continue
+        bkey = tuple(seg)
+        idx = seen.get(bkey)
+        if idx is None:
+            seen[bkey] = len(new_costs)
+            new_costs.append(costs[n])
+            counts.append(len(seg))
+            flat_pins.extend(seg)
+        else:
+            new_costs[idx] += costs[n]
+    return Hypergraph(
+        n_clusters,
+        prefix_from_counts(counts),
+        np.asarray(flat_pins, dtype=INDEX_DTYPE),
+        vertex_weights=cw,
+        net_costs=np.asarray(new_costs, dtype=INDEX_DTYPE),
+        validate=False,
+    )
+
+
+def build_coarse(
+    h: Hypergraph, cmap: np.ndarray, n_clusters: int, kernel: str = "flat"
+) -> Hypergraph:
     """Contract *h* along *cmap*.
 
     Duplicate pins inside a net are collapsed, single-pin nets dropped, and
     identical nets merged with summed costs.  These transformations change
     neither the cutsize of any partition nor the balance (cluster weights
     are the sums of member weights).
+
+    *kernel* ``"python"`` runs the per-net reference loop
+    (:func:`_build_reference`); any other tier runs the flat path:
+    sort/bincount pin remapping plus — above
+    :data:`_VECTOR_MIN_PINS_BUILD` — hash-keyed identical-net merging.
+    All paths emit bit-identical hypergraphs.
     """
+    rec = get_recorder()
+    with rec.span(
+        "coarsen.build",
+        vertices=h.num_vertices,
+        nets=h.num_nets,
+        pins=h.num_pins,
+        kernel=kernel,
+    ):
+        return _build_coarse(h, cmap, n_clusters, kernel)
+
+
+def _build_coarse(
+    h: Hypergraph, cmap: np.ndarray, n_clusters: int, kernel: str
+) -> Hypergraph:
     cw = np.bincount(cmap, weights=h.vertex_weights, minlength=n_clusters).astype(
         INDEX_DTYPE
     )
@@ -504,6 +643,8 @@ def build_coarse(h: Hypergraph, cmap: np.ndarray, n_clusters: int) -> Hypergraph
             net_costs=np.empty(0, dtype=INDEX_DTYPE),
             validate=False,
         )
+    if kernel == "python" or h.num_pins < _BUILD_FLAT_MIN_PINS:
+        return _build_reference(h, cmap, n_clusters, cw)
 
     key = h.net_of_pin() * n_clusters + cmap[h.pins]
     uniq = np.unique(key)  # sorted -> pins sorted within each net
@@ -548,10 +689,13 @@ def build_coarse(h: Hypergraph, cmap: np.ndarray, n_clusters: int) -> Hypergraph
             validate=False,
         )
 
-    # identical-net merging, vectorized per size class: nets of equal pin
-    # count stack into a 2D array, np.unique(axis=0) finds duplicates, and
-    # the survivors are re-emitted in first-appearance (net id) order with
-    # summed costs — the same output the sequential dict dedup produced
+    # identical-net merging, hash-keyed: a position-weighted 64-bit
+    # polynomial hash per net groups merge candidates in one pass (no
+    # per-size-class stacking), every member is verified element-wise
+    # against its group's first net, and the vanishing-probability hash
+    # collisions fall back to exact byte keys.  Survivors re-emit in
+    # first-appearance (net id) order with summed costs — the same output
+    # the sequential dict dedup produces.
     keep = sizes >= 2
     kept_ids = np.flatnonzero(keep)
     if len(kept_ids) == 0:
@@ -565,40 +709,61 @@ def build_coarse(h: Hypergraph, cmap: np.ndarray, n_clusters: int) -> Hypergraph
         )
     kept_sizes = sizes[kept_ids]
     kp = kpin[multi_arange(starts[kept_ids], kept_sizes)]
-    koffs = prefix_from_counts(kept_sizes)
+    koffs = prefix_from_counts(kept_sizes).astype(np.int64)
     costs = h.net_costs
+    m = len(kept_ids)
 
-    first_ids: list[np.ndarray] = []  # original net id of first occurrence
-    seg_flat: list[np.ndarray] = []  # flattened unique segments per class
-    seg_sizes: list[np.ndarray] = []
-    seg_costs: list[np.ndarray] = []
-    for s in np.unique(kept_sizes):
-        sel = np.flatnonzero(kept_sizes == s)
-        rows = kp[koffs[sel][:, None] + np.arange(s)]
-        uq, first, inv = np.unique(
-            rows, axis=0, return_index=True, return_inverse=True
+    maxs = int(kept_sizes.max())
+    pw = np.ones(maxs, dtype=np.uint64)
+    if maxs > 1:
+        pw[1:] = np.cumprod(
+            np.full(maxs - 1, np.uint64(0x9E3779B97F4A7C15), dtype=np.uint64)
         )
-        csum = np.zeros(len(uq), dtype=INDEX_DTYPE)
-        np.add.at(csum, inv, costs[kept_ids[sel]])
-        first_ids.append(kept_ids[sel][first])
-        seg_flat.append(uq.ravel())
-        seg_sizes.append(np.full(len(uq), s, dtype=INDEX_DTYPE))
-        seg_costs.append(csum)
+    pos = np.arange(len(kp), dtype=np.int64) - np.repeat(koffs[:-1], kept_sizes)
+    contrib = (kp.astype(np.uint64) + np.uint64(0x517CC1B7)) * pw[pos]
+    hsh = np.add.reduceat(contrib, koffs[:-1])
 
-    first_all = np.concatenate(first_ids)
-    sizes_all = np.concatenate(seg_sizes)
-    costs_all = np.concatenate(seg_costs)
-    flat_all = np.concatenate(seg_flat)
-    starts_all = prefix_from_counts(sizes_all)[:-1]
-    order = np.argsort(first_all, kind="stable")
-    xpins = prefix_from_counts(sizes_all[order])
-    pins = flat_all[multi_arange(starts_all[order], sizes_all[order])]
+    # sort members by (size, hash, net id): groups become contiguous with
+    # their first-appearing net leading each group
+    go = np.lexsort((np.arange(m), hsh, kept_sizes))
+    ss = kept_sizes[go]
+    hh = hsh[go]
+    bnd = np.r_[True, (ss[1:] != ss[:-1]) | (hh[1:] != hh[:-1])]
+    gid = np.cumsum(bnd) - 1
+    n_groups = int(gid[-1]) + 1
+    rep = go[np.flatnonzero(bnd)]  # group representative (first member)
+
+    # verify: each member's pins must equal its representative's
+    mo = koffs[:-1][go]
+    ro = koffs[:-1][rep[gid]]
+    moffs = prefix_from_counts(ss).astype(np.int64)
+    neq = kp[multi_arange(mo, ss)] != kp[multi_arange(ro, ss)]
+    bad = np.add.reduceat(neq, moffs[:-1]) > 0
+    first_kept = rep
+    if bad.any():  # pragma: no cover - 64-bit collision, astronomically rare
+        gid = gid.copy()
+        extra: dict[bytes, int] = {}
+        for j in np.flatnonzero(bad).tolist():
+            bkey = kp[mo[j] : mo[j] + int(ss[j])].tobytes()
+            g2 = extra.get(bkey)
+            if g2 is None:
+                extra[bkey] = g2 = n_groups
+                n_groups += 1
+            gid[j] = g2
+        first_kept = np.full(n_groups, m, dtype=np.int64)
+        np.minimum.at(first_kept, gid, go)
+
+    csum = np.bincount(gid, weights=costs[kept_ids[go]], minlength=n_groups)
+    order = np.argsort(first_kept, kind="stable")
+    g_sizes = kept_sizes[first_kept][order]
+    xpins = prefix_from_counts(g_sizes)
+    pins = kp[multi_arange(koffs[:-1][first_kept][order], g_sizes)]
     return Hypergraph(
         n_clusters,
         xpins,
         pins,
         vertex_weights=cw,
-        net_costs=costs_all[order].astype(INDEX_DTYPE),
+        net_costs=csum[order].astype(INDEX_DTYPE),
         validate=False,
     )
 
@@ -626,6 +791,7 @@ def coarsen_level(
     """One coarsening step; returns ``(coarse_h, cmap, coarse_fixed)``."""
     from repro.partitioner.kernels import resolve_kernel
 
+    kern = resolve_kernel(getattr(cfg, "kernel", "python"))
     cmap, nc, cfix = match_vertices(
         h,
         rng,
@@ -634,9 +800,9 @@ def coarsen_level(
         max_cluster_weight=max_cluster_weight,
         fixed=fixed,
         part=part,
-        kernel=resolve_kernel(getattr(cfg, "kernel", "python")),
+        kernel=kern,
     )
-    hc = build_coarse(h, cmap, nc)
+    hc = build_coarse(h, cmap, nc, kernel=kern)
     coarse_fixed = cfix if fixed is not None else None
     return hc, cmap, coarse_fixed
 
@@ -716,6 +882,7 @@ def coarsen_restricted(
             with rec.span("coarsen.level", level=depth) as lsp:
                 from repro.partitioner.kernels import resolve_kernel
 
+                kern = resolve_kernel(getattr(cfg, "kernel", "python"))
                 cmap, nc, cfix = match_vertices(
                     cur,
                     rng,
@@ -724,9 +891,9 @@ def coarsen_restricted(
                     max_cluster_weight=max_cluster_weight,
                     fixed=cur_fixed,
                     part=cur_part,
-                    kernel=resolve_kernel(getattr(cfg, "kernel", "python")),
+                    kernel=kern,
                 )
-                hc = build_coarse(cur, cmap, nc)
+                hc = build_coarse(cur, cmap, nc, kernel=kern)
                 lsp.set(
                     vertices=hc.num_vertices,
                     nets=hc.num_nets,

@@ -260,16 +260,19 @@ class ExecutionPolicy:
     heartbeat_timeout: float = field(
         default_factory=lambda: _env_float("REPRO_HEARTBEAT_TIMEOUT", 30.0) or 30.0
     )
-    #: implementation tier of the FM refinement and matching hot loops:
-    #: "python" (the pure-Python reference), "flat" (numpy flat-array
-    #: buckets + vectorized gain updates), "jit" (numba-compiled move
-    #: loop, requires numba), or "auto" (best available tier).  Every
-    #: tier is bit-identical — the verify subsystem's replay matrix
-    #: asserts it — so this is execution policy, not model.  A requested
-    #: tier that is unavailable falls back ``jit -> flat -> python``
+    #: implementation tier of the V-cycle hot loops (FM refinement,
+    #: matching, coarse build, initial bisection, k-way refinement):
+    #: "python" (the pure-Python reference loops — the differential
+    #: oracle, no batching), "flat" (adaptive numpy tier: vectorized
+    #: kernels behind measured size gates so it never loses to the
+    #: reference), "jit" (numba-compiled move loop, requires numba), or
+    #: "auto" (best available tier — the default).  Every tier is
+    #: bit-identical — the verify subsystem's replay matrix asserts it —
+    #: so this is execution policy, not model.  A requested tier that is
+    #: unavailable falls back ``jit -> flat -> python``
     #: (see :func:`repro.partitioner.kernels.resolve_kernel`).
     #: Env-overridable default: ``REPRO_KERNEL``.
-    kernel: str = field(default_factory=lambda: _env_str("REPRO_KERNEL", "python"))
+    kernel: str = field(default_factory=lambda: _env_str("REPRO_KERNEL", "auto"))
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:

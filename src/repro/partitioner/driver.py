@@ -15,6 +15,7 @@ from repro.hypergraph.partition import (
     imbalance,
     validate_partition,
 )
+from repro.partitioner.arena import use_arena
 from repro.partitioner.config import PartitionerConfig
 from repro.partitioner.kway import kway_refine
 from repro.partitioner.pool import TreeScheduler, resolve_tree_backend
@@ -104,6 +105,8 @@ def partition_hypergraph(
     ):
         scheduler = TreeScheduler(cfg)
     try:
+        # one scratch arena serves every level/start/run of this call
+        # (worker threads of the scheduler fall back to plain allocation)
         with rec.span(
             "partition",
             k=k,
@@ -112,7 +115,7 @@ def partition_hypergraph(
             nets=h.num_nets,
             pins=h.num_pins,
             tree_parallel=cfg.tree_parallel,
-        ) as psp:
+        ) as psp, use_arena():
             for run in range(cfg.n_runs):
                 with rec.span("partition.run", run=run) as rsp, Timer() as t:
                     part, cuts = partition_recursive(

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.partitioner.arena import scratch
 from repro.telemetry import get_recorder
 
 __all__ = ["FlatGainBucket", "FlatMoveEngine", "fm_pass_flat"]
@@ -55,6 +56,36 @@ __all__ = ["FlatGainBucket", "FlatMoveEngine", "fm_pass_flat"]
 #: tail-chunk size for the vectorized stale-skip scans; amortizes numpy
 #: call overhead without touching more of a deep stack than needed
 _CHUNK = 512
+
+#: event batches at or below this size append via the scalar ``_push``
+#: loop — grouping a handful of entries through argsort costs more than
+#: pushing them one by one
+_SMALL_APPEND = 24
+
+#: compact the bucket stacks once total stored entries exceed this
+#: multiple of the current vertex count.  Ghost entries are individually
+#: harmless but collectively fatal: a mass-update regime re-appends the
+#: same vertices move after move, so without compaction the stale-skip
+#: scans walk stacks proportional to *total appends* instead of live
+#: entries.  Compaction drops stale entries per bucket while preserving
+#: chronological order, so selection order is untouched.
+_COMPACT_FACTOR = 4
+_COMPACT_MIN = 2048
+
+#: nets at or below this many pins run their critical-case events as
+#: interpreted loops over the cached pin lists.  Slicing a 2-element
+#: numpy segment and argmax-ing it costs microseconds of fixed overhead
+#: where the list loop costs nanoseconds — and on fine-grain models
+#: (vertex degree <= 2, nets of 2..3 pins after coarsening) *every*
+#: move fires such events, so the fixed cost is the whole move.  Above
+#: the threshold the masked-slice path wins on per-pin throughput.
+_SCALAR_NET = 32
+
+#: scalar probes from the stack tail before switching to chunked masks.
+#: The common selection finds a live, feasible entry within a handful of
+#: pops, where one element read costs ~20x less than a chunk scan; the
+#: budget bounds the interpreted work when the tail is deeply stale
+_PROBE = 16
 
 
 class FlatGainBucket:
@@ -69,7 +100,9 @@ class FlatGainBucket:
     sweeps.
     """
 
-    __slots__ = ("offset", "bufs", "lens", "gains", "inside", "maxb", "count")
+    __slots__ = (
+        "offset", "bufs", "lens", "gains", "inside", "maxb", "count", "stored",
+    )
 
     def __init__(
         self,
@@ -88,6 +121,7 @@ class FlatGainBucket:
         self.inside = np.zeros(n, dtype=bool) if inside is None else inside
         self.maxb = -1
         self.count = 0
+        self.stored = 0  # total stack entries, live and stale
 
     # -- storage ---------------------------------------------------------
     def _room(self, b: int, k: int) -> np.ndarray:
@@ -108,8 +142,34 @@ class FlatGainBucket:
     def _push(self, b: int, v: int) -> None:
         self._room(b, 1)[self.lens[b]] = v
         self.lens[b] += 1
+        self.stored += 1
         if b > self.maxb:
             self.maxb = b
+
+    def _maybe_compact(self) -> None:
+        """Drop stale stack entries once they outnumber live ones.
+
+        Each bucket keeps only its current entries (``inside`` and gain
+        still mapping here), compressed in place in chronological order —
+        the scan meets the same live entries in the same order, so every
+        selection is unchanged.  Amortized O(1) per append."""
+        if self.stored <= _COMPACT_MIN or self.stored <= _COMPACT_FACTOR * max(
+            self.count, 1
+        ):
+            return
+        gains, inside = self.gains, self.inside
+        total = 0
+        for b, l in enumerate(self.lens):
+            if l == 0:
+                continue
+            buf = self.bufs[b]
+            seg = buf[:l]
+            cur = seg[inside[seg] & (gains[seg] == b - self.offset)]
+            k = len(cur)
+            buf[:k] = cur
+            self.lens[b] = k
+            total += k
+        self.stored = total
 
     # -- primitive ops -------------------------------------------------
     def insert(self, v: int, gain: int) -> None:
@@ -168,6 +228,23 @@ class FlatGainBucket:
     def _append_grouped(self, vs: np.ndarray, b: np.ndarray) -> None:
         """Append vertices *vs* with bucket indices *b*, preserving the
         given (chronological) order within each bucket."""
+        m = len(vs)
+        self.stored += m
+        if m <= _SMALL_APPEND:
+            # tiny batches: the grouping sort costs more than pushing
+            lens, bufs = self.lens, self.bufs
+            mx = self.maxb
+            for v, bb in zip(vs.tolist(), b.tolist()):
+                buf = bufs[bb]
+                l = lens[bb]
+                if buf is None or l + 1 > len(buf):
+                    buf = self._room(bb, 1)
+                buf[l] = v
+                lens[bb] = l + 1
+                if bb > mx:
+                    mx = bb
+            self.maxb = mx
+            return
         # bucket indices are tiny ints: a narrow key makes numpy's stable
         # sort a radix sort (O(n)) instead of timsort — same permutation
         nb = len(self.bufs)
@@ -226,6 +303,7 @@ class FlatGainBucket:
         """
         if self.count == 0:
             return None
+        self._maybe_compact()
         gains, inside = self.gains, self.inside
         b = self.maxb
         settled = False
@@ -255,6 +333,7 @@ class FlatGainBucket:
         """Highest stored gain, or ``None`` when empty."""
         if self.count == 0:
             return None
+        self._maybe_compact()
         b = self.maxb
         while b >= 0:
             if self._trim(b) >= 0:
@@ -272,30 +351,77 @@ class FlatGainBucket:
 
     def best_capped(self, w, cap: int) -> int | None:
         """:meth:`best` specialized to ``w[v] <= cap`` — the whole scan,
-        staleness and weight test both, runs as chunked masks."""
+        staleness and weight test both, runs as chunked masks.
+
+        The call starts with up to ``_PROBE`` scalar pops from the stack
+        tail — most selections are decided there, at element-read cost —
+        then falls back to the fused trim-and-test chunk walk, which
+        computes each liveness mask once, truncates the stale tail with
+        it, and applies the weight cap on top.  Either way the entry
+        found is the same: the newest live entry passing the cap."""
         if self.count == 0:
             return None
-        warr = w if isinstance(w, np.ndarray) else np.asarray(w, dtype=np.int64)
+        self._maybe_compact()
         gains, inside = self.gains, self.inside
         b = self.maxb
-        settled = False
+        probes = _PROBE
         while b >= 0:
-            li = self._trim(b)
-            if li >= 0:
-                if not settled:
+            l = self.lens[b]
+            buf = self.bufs[b]
+            g = b - self.offset
+            while l > 0 and probes > 0:
+                v = buf[l - 1]
+                if inside[v] and gains[v] == g:
+                    # newest live entry of the whole structure: the
+                    # stale tail above it is gone, and maxb settles
+                    self.lens[b] = l
                     self.maxb = b
-                    settled = True
-                buf = self.bufs[b]
-                g = b - self.offset
-                l = li + 1
-                while l > 0:
-                    lo = l - _CHUNK if l > _CHUNK else 0
-                    seg = buf[lo:l]
-                    ok = inside[seg] & (gains[seg] == g) & (warr[seg] <= cap)
+                    if w[v] <= cap:
+                        return int(v)
+                    # live but over cap: keep it, search older entries
+                    return self._capped_vec(b, l - 1, True, w, cap)
+                l -= 1
+                probes -= 1
+            self.lens[b] = l
+            if l > 0:
+                break  # probe budget spent mid-bucket: go vectorized
+            b -= 1
+        if b < 0:
+            self.maxb = -1
+            return None
+        return self._capped_vec(b, self.lens[b], False, w, cap)
+
+    def _capped_vec(self, b: int, l0: int, settled: bool, w, cap: int):
+        """Chunk-mask continuation of :meth:`best_capped` from length
+        *l0* of bucket *b* downward; *settled* says whether the newest
+        live entry (hence ``maxb`` and the trim frontier) is known."""
+        warr = w if isinstance(w, np.ndarray) else np.asarray(w, dtype=np.int64)
+        gains, inside = self.gains, self.inside
+        l = l0
+        while b >= 0:
+            buf = self.bufs[b]
+            g = b - self.offset
+            while l > 0:
+                lo = l - _CHUNK if l > _CHUNK else 0
+                seg = buf[lo:l]
+                cur = inside[seg] & (gains[seg] == g)
+                if cur.any():
+                    if not settled:
+                        # newest live entry of the whole structure: the
+                        # stale tail above it can go, and maxb settles
+                        li = lo + len(cur) - 1 - int(np.argmax(cur[::-1]))
+                        self.lens[b] = li + 1
+                        self.maxb = b
+                        settled = True
+                    ok = cur & (warr[seg] <= cap)
                     if ok.any():
                         return int(seg[len(ok) - 1 - int(np.argmax(ok[::-1]))])
-                    l = lo
+                elif not settled and lo == 0:
+                    self.lens[b] = 0
+                l = lo
             b -= 1
+            if b >= 0:
+                l = self.lens[b]
         if not settled:
             self.maxb = -1
         return None
@@ -327,26 +453,35 @@ class FlatMoveEngine:
 
     __slots__ = (
         "nv", "part", "pc0", "pc1", "free", "locked", "elig", "G",
-        "xpins", "pins", "xnets", "vnets", "cost", "w", "W",
-        "buckets", "boundary_mode",
+        "xpins", "pins", "xpins_l", "pins_l", "xnets", "vnets",
+        "cost", "w", "W", "buckets", "boundary_mode",
     )
 
     def __init__(self, core, G: np.ndarray, boundary_mode: bool = False):
         h = core.h
         self.nv = core.nv
         self.part = core.part_array().astype(np.int64)
-        self.pc0 = np.asarray(core.pc[0], dtype=np.int64)
-        self.pc1 = np.asarray(core.pc[1], dtype=np.int64)
+        # pin counts and net costs live as python lists: the move kernels
+        # only ever touch them per-net, where a list element read costs a
+        # fraction of a numpy scalar gather
+        self.pc0 = list(core.pc[0])
+        self.pc1 = list(core.pc[1])
         self.free = np.asarray(core.free, dtype=bool)
-        self.locked = np.zeros(core.nv, dtype=bool)
+        # per-pass masks come from the level arena when one is active:
+        # engines never outlive their pass, so the site keys are safe
+        self.locked = scratch("fm.locked", core.nv, bool, zero=True)
         # combined eligibility (free and not locked): the hot masks below
         # need one gather through this instead of two, and the moved
         # vertex itself is excluded for free because it is locked first
-        self.elig = self.free.copy()
+        self.elig = scratch("fm.elig", core.nv, bool)
+        np.copyto(self.elig, self.free)
         self.G = G
         self.xpins, self.pins = h.xpins, h.pins
+        # cached plain-list views for the scalar small-net event path
+        self.xpins_l = h.xpins_list()
+        self.pins_l = h.pins_list()
         self.xnets, self.vnets = h.xnets, h.vnets
-        self.cost = h.net_costs
+        self.cost = h.net_costs.tolist()
         self.w = core.w  # python list: scalar reads in selection tests
         self.W = core.W  # shared with core, mutated in place
         self.buckets: tuple[FlatGainBucket, FlatGainBucket] | None = None
@@ -375,46 +510,89 @@ class FlatMoveEngine:
         """
         part, elig, G = self.part, self.elig, self.G
         pins, xpins = self.pins, self.xpins
+        pl, xl = self.pins_l, self.xpins_l
         frm = int(part[v])
         to = 1 - frm
         pcf, pct = (self.pc0, self.pc1) if frm == 0 else (self.pc1, self.pc0)
-        nets = self.vnets[self.xnets[v] : self.xnets[v + 1]]
         cost = self.cost
-        ev_v: list[np.ndarray] = []  # touch events, chronological
-        for n in nets.tolist():
-            c = int(cost[n])
+        # touch events, chronological: ints (scalar path and the
+        # first-matching-pin cases) or arrays (large-net mass bumps)
+        ev_v: list = []
+        has_arr = False
+        # per-net pc updates interleave with that net's event: each
+        # event reads only its own net's counts (T/F before the move)
+        # plus part/elig, which both stay untouched until after the loop
+        for n in self.vnets[self.xnets[v] : self.xnets[v + 1]].tolist():
+            c = cost[n]
             if c:
-                T = int(pct[n])
-                F = int(pcf[n])
+                T = pct[n]
+                F = pcf[n]
                 if T == 0 or F == 1 or F == 2 or T == 1:
-                    seg = pins[xpins[n] : xpins[n + 1]]
-                    if T == 0:
-                        # elig excludes v (locked) — same set as the
-                        # reference's u != v / not locked / free test
-                        el = seg[elig[seg]]
-                        if len(el):
-                            G[el] += c
-                            ev_v.append(el)
-                    elif T == 1:
-                        # the reference loop bumps the first to-side pin
-                        i = int(np.argmax(part[seg] == to))
-                        u = int(seg[i])
-                        if elig[u]:
-                            G[u] -= c
-                            ev_v.append(np.array([u], dtype=np.int64))
-                    if F == 1:
-                        el = seg[elig[seg]]
-                        if len(el):
-                            G[el] -= c
-                            ev_v.append(el)
-                    elif F == 2:
-                        i = int(np.argmax((seg != v) & (part[seg] == frm)))
-                        u = int(seg[i])
-                        if elig[u]:
-                            G[u] += c
-                            ev_v.append(np.array([u], dtype=np.int64))
-        pcf[nets] -= 1
-        pct[nets] += 1
+                    lo = xl[n]
+                    hi = xl[n + 1]
+                    if hi - lo <= _SCALAR_NET:
+                        # small net: interpreted loops over the cached
+                        # pin list — same cases, same order, no numpy
+                        # fixed costs (see _SCALAR_NET)
+                        if T == 0:
+                            # elig excludes v (locked) — same set as the
+                            # reference's u != v / not locked/free test
+                            for i in range(lo, hi):
+                                u = pl[i]
+                                if elig[u]:
+                                    G[u] += c
+                                    ev_v.append(u)
+                        elif T == 1:
+                            # the reference bumps the first to-side pin
+                            for i in range(lo, hi):
+                                u = pl[i]
+                                if part[u] == to:
+                                    if elig[u]:
+                                        G[u] -= c
+                                        ev_v.append(u)
+                                    break
+                        if F == 1:
+                            for i in range(lo, hi):
+                                u = pl[i]
+                                if elig[u]:
+                                    G[u] -= c
+                                    ev_v.append(u)
+                        elif F == 2:
+                            for i in range(lo, hi):
+                                u = pl[i]
+                                if u != v and part[u] == frm:
+                                    if elig[u]:
+                                        G[u] += c
+                                        ev_v.append(u)
+                                    break
+                    else:
+                        seg = pins[lo:hi]
+                        if T == 0:
+                            el = seg[elig[seg]]
+                            if len(el):
+                                G[el] += c
+                                ev_v.append(el)
+                                has_arr = True
+                        elif T == 1:
+                            i = int(np.argmax(part[seg] == to))
+                            u = int(seg[i])
+                            if elig[u]:
+                                G[u] -= c
+                                ev_v.append(u)
+                        if F == 1:
+                            el = seg[elig[seg]]
+                            if len(el):
+                                G[el] -= c
+                                ev_v.append(el)
+                                has_arr = True
+                        elif F == 2:
+                            i = int(np.argmax((seg != v) & (part[seg] == frm)))
+                            u = int(seg[i])
+                            if elig[u]:
+                                G[u] += c
+                                ev_v.append(u)
+            pcf[n] -= 1
+            pct[n] += 1
         part[v] = to
         wv = self.w[v]
         W = self.W
@@ -423,11 +601,31 @@ class FlatMoveEngine:
         G[v] = -G[v]
         if not ev_v:
             return
+        buckets = self.buckets
+        if not has_arr:
+            # all events are single vertices (the typical small-net
+            # move): push each at its final gain, in event order — the
+            # per-side split of the batch tail below preserves exactly
+            # this chronological order per bucket, so the stacks match
+            boundary = self.boundary_mode
+            for u in ev_v:
+                bk = buckets[int(part[u])]
+                if boundary and not bk.inside[u]:
+                    bk.inside[u] = True
+                    bk.count += 1
+                bk._push(int(G[u]) + bk.offset, u)
+            return
         if len(ev_v) == 1:
             ev = ev_v[0]
         else:
-            ev = np.concatenate(ev_v)
-        buckets = self.buckets
+            ev = np.concatenate(
+                [
+                    e
+                    if isinstance(e, np.ndarray)
+                    else np.array([e], dtype=np.int64)
+                    for e in ev_v
+                ]
+            )
         for s in (0, 1):
             bk = buckets[s]
             tv = ev[part[ev] == s]
@@ -438,8 +636,13 @@ class FlatMoveEngine:
                 fresh = tv[~ins]
                 if len(fresh):
                     bk.inside[fresh] = True
-                    # fresh may repeat a vertex touched twice: recount
-                    bk.count = int(bk.inside.sum())
+                    # fresh may repeat a vertex touched twice within one
+                    # move: count distinct entries only (O(|fresh|), not
+                    # the O(nv) full recount this replaces)
+                    if len(fresh) == 1:
+                        bk.count += 1
+                    else:
+                        bk.count += len(np.unique(fresh))
                 app = tv
             else:
                 # every eligible vertex was seeded and only selection
@@ -455,9 +658,9 @@ class FlatMoveEngine:
         frm = int(part[v])  # side v is on now
         to = 1 - frm
         pcf, pct = (self.pc0, self.pc1) if frm == 0 else (self.pc1, self.pc0)
-        nets = self.vnets[self.xnets[v] : self.xnets[v + 1]]
-        pcf[nets] -= 1
-        pct[nets] += 1
+        for n in self.vnets[self.xnets[v] : self.xnets[v + 1]].tolist():
+            pcf[n] -= 1
+            pct[n] += 1
         part[v] = to
         wv = self.w[v]
         W = self.W
@@ -470,7 +673,7 @@ class FlatMoveEngine:
         """Write array state back to *core* so the next pass (any tier)
         sees it."""
         core.part = self.part.tolist()
-        core.pc = [self.pc0.tolist(), self.pc1.tolist()]
+        core.pc = [list(self.pc0), list(self.pc1)]
         core.gain = self.G.tolist()
         core.locked = self.locked.tolist()
 
@@ -500,6 +703,7 @@ def fm_pass_flat(core, maxw, cfg, rng) -> tuple[int, bool]:
     free = np.asarray(core.free, dtype=bool)
     cand = cand[free[cand]]
     if len(cand) == 0:
+        core.pass_events = 0
         return 0, False
 
     eng = FlatMoveEngine(core, G, boundary_mode)
@@ -509,8 +713,12 @@ def fm_pass_flat(core, maxw, cfg, rng) -> tuple[int, bool]:
     W = eng.W
 
     bound = core.max_gain_bound()
-    b0 = FlatGainBucket(nv, bound, gains=G)
-    b1 = FlatGainBucket(nv, bound, gains=G)
+    b0 = FlatGainBucket(
+        nv, bound, gains=G, inside=scratch("fm.inside0", nv, bool, zero=True)
+    )
+    b1 = FlatGainBucket(
+        nv, bound, gains=G, inside=scratch("fm.inside1", nv, bool, zero=True)
+    )
     buckets = (b0, b1)
     eng.buckets = buckets
     # identical RNG consumption and seeding order to the reference pass
@@ -607,6 +815,7 @@ def fm_pass_flat(core, maxw, cfg, rng) -> tuple[int, bool]:
 
     eng.writeback(core)
 
+    core.pass_events = len(moves)
     rec = get_recorder()
     if rec.enabled:
         rec.add("fm.moves", best_idx)

@@ -35,7 +35,52 @@ from __future__ import annotations
 
 from repro.partitioner.config import KERNELS
 
-__all__ = ["KERNELS", "kernel_available", "kernel_info", "resolve_kernel"]
+__all__ = [
+    "KERNELS",
+    "PHASES",
+    "RACE_MIN_EVENTS",
+    "kernel_available",
+    "kernel_info",
+    "phase_kernels",
+    "race_pick",
+    "resolve_kernel",
+]
+
+#: a race probe must log at least this many move events before its
+#: per-event rate counts as evidence; tiny converged passes stay probes
+RACE_MIN_EVENTS = 32
+
+
+def race_pick(race: dict[str, list[float]]) -> str:
+    """Pick the tier for one raced kernel invocation on a level.
+
+    Some flat-vs-python regimes no static size gate can separate: a
+    level's *criticality structure* (how much per-pin mass-update work
+    each move triggers) decides the winner, and that is only observable
+    by running.  Because every tier is bit-identical per invocation, a
+    caller can simply time one invocation of each on the level and keep
+    the winner.  *race* accumulates ``[seconds, events]`` per tier —
+    callers cache it on the level hypergraph (``h._view``), so
+    multi-starts and V-cycles revisiting the level inherit the verdict
+    instead of re-probing.  Unprobed tiers run first (flat before
+    python); after both have evidence the lower seconds-per-event rate
+    wins.
+    """
+    if race["flat"][1] == 0:
+        return "flat"
+    if race["python"][1] == 0:
+        return "python"
+    rf = race["flat"][0] / race["flat"][1]
+    rp = race["python"][0] / race["python"][1]
+    return "flat" if rf <= rp else "python"
+
+#: V-cycle phases with tiered implementations (see the phase modules:
+#: refine/fm_flat/fm_jit, coarsen, initial, kway)
+PHASES = ("fm", "matching", "coarse_build", "initial", "kway")
+
+#: phases with a numba implementation; the rest run their flat tier when
+#: ``jit`` is requested
+_JIT_PHASES = frozenset({"fm", "matching"})
 
 # probe results, cached process-wide: tier -> (available, reason)
 _PROBES: dict[str, tuple[bool, str | None]] = {}
@@ -87,7 +132,22 @@ def kernel_info() -> dict:
         **tiers,
         "fallback_order": list(KERNELS),
         "default": resolve_kernel(requested),
+        "phases": phase_kernels(requested),
     }
+
+
+def phase_kernels(requested: str = "auto") -> dict:
+    """The tier each V-cycle phase runs under a requested kernel.
+
+    Phases without a numba implementation run their flat tier when
+    ``jit`` resolves.  Flat phase kernels additionally size-gate
+    individual calls (small inputs take the scalar loop because it
+    measures faster — see docs/performance.md), so this reports tier
+    *routing*, not a per-call trace.
+    """
+    d = resolve_kernel(requested)
+    no_jit = "flat" if d == "jit" else d
+    return {p: (d if p in _JIT_PHASES else no_jit) for p in PHASES}
 
 
 def resolve_kernel(requested: str) -> str:

@@ -61,6 +61,7 @@ class ReplayVariant:
     shm: bool
     tree_parallel: bool
     kernel: str = "python"  # refinement/matching tier, bit-identical by contract
+    kway: bool = False  # enable the K-way boundary refinement pass
 
     @property
     def universe(self) -> str:
@@ -69,9 +70,12 @@ class ReplayVariant:
         The kernel tier is deliberately *not* part of the universe: every
         tier promises the same bits, so kernel variants are diffed against
         the python reference of their universe rather than forming their
-        own group.
+        own group.  ``kway`` *is* part of the universe — the extra
+        refinement pass legitimately changes the partition — so the
+        K-way kernel tiers diff against a python+kway reference.
         """
-        return "tree" if self.tree_parallel else "legacy"
+        base = "tree" if self.tree_parallel else "legacy"
+        return base + "+kway" if self.kway else base
 
 
 @dataclass
@@ -84,6 +88,7 @@ class ReplayRun:
     tree_parallel: bool
     universe: str
     kernel: str = "python"
+    kway: bool = False
     cutsize: int | None = None
     imbalance: float | None = None
     part_sha: str | None = None
@@ -162,7 +167,12 @@ def default_variants() -> list[ReplayVariant]:
     reference the others are diffed against.  The kernel tiers (flat, jit)
     ride on the serial backend of each universe — they promise the same
     bits as the python reference, and an unavailable tier falls back
-    (jit -> flat -> python), which must itself be bit-identical.
+    (jit -> flat -> python), which must itself be bit-identical.  The
+    kernel axis now spans every V-cycle phase (matching, coarse build,
+    initial GHG, FM, K-way), so the serial+flat variant exercises all of
+    them at once; a separate ``+kway`` universe turns on the K-way
+    boundary refinement pass (which legitimately changes the partition)
+    and diffs its flat sweep against a python+kway reference.
     """
     out: list[ReplayVariant] = []
     for tree in (False, True):
@@ -177,6 +187,18 @@ def default_variants() -> list[ReplayVariant]:
                     f"serial+{kern}{suffix}", "serial", False, tree, kernel=kern
                 )
             )
+    # the K-way universe: legacy serial only — one reference plus the
+    # non-reference tiers driving the K-way flat sweep
+    out.append(
+        ReplayVariant("serial+kway", "serial", False, False, kway=True)
+    )
+    for kern in ("flat", "jit"):
+        out.append(
+            ReplayVariant(
+                f"serial+{kern}+kway", "serial", False, False,
+                kernel=kern, kway=True,
+            )
+        )
     return out
 
 
@@ -265,6 +287,7 @@ def replay_decompose(
             tree_parallel=v.tree_parallel,
             early_stop_cut=None,
             kernel=v.kernel,
+            kway_refine=v.kway,
         )
         run = ReplayRun(
             label=v.label,
@@ -273,6 +296,7 @@ def replay_decompose(
             tree_parallel=v.tree_parallel,
             universe=v.universe,
             kernel=v.kernel,
+            kway=v.kway,
         )
         try:
             with use_recorder() as rec:
@@ -297,7 +321,7 @@ def replay_decompose(
         report.runs.append(run)
 
     # diff each universe against its own serial reference
-    for universe in ("legacy", "tree"):
+    for universe in sorted({r.universe for r in report.runs}):
         group = [r for r in report.runs if r.universe == universe]
         if not group:
             continue

@@ -226,8 +226,8 @@ def test_flat_move_engine_matches_reference_moves():
         core.locked[v] = False
         eng.undo_move(v)
         assert core.part == eng.part.tolist()
-    assert core.pc[0] == eng.pc0.tolist()
-    assert core.pc[1] == eng.pc1.tolist()
+    assert core.pc[0] == list(eng.pc0)
+    assert core.pc[1] == list(eng.pc1)
 
 
 # ----------------------------------------------------------------------
@@ -291,7 +291,7 @@ def test_repro_kernel_env_default(monkeypatch):
     monkeypatch.setenv("REPRO_KERNEL", "flat")
     assert ExecutionPolicy().kernel == "flat"
     monkeypatch.delenv("REPRO_KERNEL")
-    assert ExecutionPolicy().kernel == "python"
+    assert ExecutionPolicy().kernel == "auto"
 
 
 def test_decompose_kernel_kwarg_routes(forced_jit):
