@@ -44,6 +44,7 @@ from repro.core import (
     decomposition_from_row_partition,
 )
 from repro.errors import ReproFormatError
+from repro.exact import ExactResult, exact_bisection
 from repro.fingerprint import fingerprint
 from repro.hypergraph import Hypergraph, Partition
 from repro.partitioner import (
@@ -76,6 +77,8 @@ __all__ = [
     "decomposition_from_row_partition",
     "Hypergraph",
     "Partition",
+    "ExactResult",
+    "exact_bisection",
     "ReproFormatError",
     "fingerprint",
     "kernels",

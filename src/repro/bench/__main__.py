@@ -49,6 +49,13 @@ serve
     deadline-degraded request and, with ``--faults``, one request that
     must survive an injected worker crash); write BENCH_serve.json.
     Exits 1 when any correctness check fails.
+exact
+    Certify the optimal bipartition of every model of a tiny-matrix
+    corpus with the branch-and-bound solver, then report the multilevel
+    heuristic's optimality gap per model and seed (plus B&B nodes and
+    time-to-certify); write BENCH_exact.json.  Exits 1 if any heuristic
+    key lexicographically beats a certified optimum — impossible unless
+    the exact solver is wrong.
 
 Common options: ``--scale`` (matrix size factor, default 0.125 so a laptop
 finishes in minutes; 1.0 reproduces the original sizes), ``--ks``,
@@ -86,7 +93,7 @@ def _parse(argv):
         choices=[
             "table1", "table2", "summary", "models2d", "experiments",
             "multistart", "treeparallel", "verify", "serve", "kernels",
-            "vcycle",
+            "vcycle", "exact",
         ],
     )
     p.add_argument("--quick", action="store_true",
@@ -263,6 +270,34 @@ def main(argv=None) -> int:
             f"hit_rate={doc['hit_rate']:.2f} "
             f"degraded={checks['deadline_degraded']} checks={'OK' if ok else 'FAILED'}"
         )
+        return 0 if ok else 1
+
+    if args.command == "exact":
+        from repro.bench.exact import run_exact_bench, write_exact_bench
+
+        doc = run_exact_bench(
+            n_seeds=args.seeds,
+            progress=lambda s: print(f"  {s}", file=sys.stderr),
+        )
+        path = args.output if args.output != "EXPERIMENTS.md" else "BENCH_exact.json"
+        write_exact_bench(path, doc)
+        print(f"wrote {path}")
+        summary, checks = doc["summary"], doc["checks"]
+        ok = checks["no_impossible_wins"] and checks["all_certified"]
+        print(
+            f"instances={summary['instances']} "
+            f"mean_gap ghg={summary['mean_gap_ghg']} "
+            f"exact-initial={summary['mean_gap_exact_initial']} "
+            f"optimal_rate ghg={summary['optimal_rate_ghg']} "
+            f"exact-initial={summary['optimal_rate_exact_initial']} "
+            f"checks={'OK' if ok else 'FAILED'}"
+        )
+        if checks["impossible_wins"]:
+            for line in checks["impossible_wins"]:
+                print(f"  IMPOSSIBLE: {line}", file=sys.stderr)
+        if checks["unproven"]:
+            for label in checks["unproven"]:
+                print(f"  UNPROVEN: {label}", file=sys.stderr)
         return 0 if ok else 1
 
     if args.command == "verify":

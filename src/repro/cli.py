@@ -156,6 +156,14 @@ def _parse(argv):
     pv.add_argument("matrix")
     pv.add_argument("decomposition", help=".npz written by the partition command")
     pv.add_argument("--epsilon", type=float, default=0.03)
+    pv.add_argument("--exact", action="store_true",
+                    help="also run the branch-and-bound exact bipartitioner "
+                         "and report the true optimality gap (k=2 results "
+                         "only; skipped with a note otherwise)")
+    pv.add_argument("--exact-nodes", type=int, default=None, metavar="N",
+                    help="node budget for the exact search; past it the gap "
+                         "is reported against the best-found (unproven) "
+                         "bound instead of a certified optimum")
 
     pa = sub.add_parser("analyze", help="per-processor decomposition report")
     pa.add_argument("matrix")
@@ -312,6 +320,11 @@ def _cmd_verify(a: sp.csr_matrix, args) -> int:
 
     data = np.load(args.decomposition)
     dec = _load_saved_decomposition(a, data)
+    exact_kwargs = {}
+    if getattr(args, "exact", False):
+        exact_kwargs["exact_gap"] = True
+        if args.exact_nodes is not None:
+            exact_kwargs["exact_nodes"] = args.exact_nodes
     if "part" in data and "method" in data and "cutsize" in data:
         res = SimpleNamespace(
             method=str(data["method"]),
@@ -320,12 +333,22 @@ def _cmd_verify(a: sp.csr_matrix, args) -> int:
             cutsize=int(data["cutsize"]),
             decomposition=dec,
         )
-        report = verify_decompose(a, res, epsilon=args.epsilon)
+        report = verify_decompose(a, res, epsilon=args.epsilon, **exact_kwargs)
     else:
         # ownership arrays only (e.g. checkerboard/jagged models): the
         # decomposition-level invariants are still fully checkable
         report = check_decomposition(dec)
+        if exact_kwargs:
+            print("verify: --exact needs a partition vector in the file; skipped")
     print(report.summary())
+    gap = report.extras.get("exact") if hasattr(report, "extras") else None
+    if gap is not None:
+        tag = "certified" if gap["proven"] else "unproven"
+        print(
+            f"optimality gap: {gap['gap']} ({tag}; cut={gap['cut']} "
+            f"exact={gap['exact_cut']} nodes={gap['nodes']} "
+            f"time={gap['runtime']:.3f}s)"
+        )
     return 0 if report.passed else 1
 
 

@@ -1,0 +1,18 @@
+"""Exact bipartitioning: budgeted branch-and-bound + brute-force oracle.
+
+The certified floor under the multilevel heuristic — see
+:mod:`repro.exact.branch_bound` for the algorithm and
+``docs/verification.md`` ("Optimality gap") for how the rest of the repo
+consumes it.
+"""
+
+from repro.exact.branch_bound import ExactResult, bisection_bounds, exact_bisection
+from repro.exact.brute import MAX_BRUTE_VERTICES, brute_force_bisection
+
+__all__ = [
+    "ExactResult",
+    "exact_bisection",
+    "bisection_bounds",
+    "brute_force_bisection",
+    "MAX_BRUTE_VERTICES",
+]

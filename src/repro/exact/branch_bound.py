@@ -1,0 +1,435 @@
+"""Budgeted branch-and-bound exact bipartitioner.
+
+An improved-bounds exact algorithm for sparse-matrix bipartitioning in
+the spirit of Knigge & Bisseling (arXiv:1811.02043), specialized to the
+repo's :class:`~repro.hypergraph.hypergraph.Hypergraph` CSR arrays and
+its k=2 recursive-bisection building block:
+
+* **search space** — a DFS over vertex assignments in a fixed
+  connectivity-first order (BFS from the highest-degree vertex, so nets
+  close early and the partial-cut bound tightens fast), with incremental
+  per-net pin counts, partial part weights and partial cut maintained
+  under O(degree) apply/undo;
+* **objective** — the lexicographic key ``(excess, cut)`` the whole
+  partitioner ranks by: ``excess`` is the total weight overflow beyond
+  the ε-balance maximum part weights (0 on any feasible bipartition) and
+  ``cut`` the bipartition cutsize.  Minimizing this key subsumes the
+  hard-balance formulation — on balance-feasible instances the optimum
+  has ``excess == 0`` and is the minimum-cut feasible bipartition — while
+  still returning the certified least-infeasible answer on instances
+  where no ε-balanced bipartition exists (single dominant vertex, one
+  vertex total, ...).  At k=2 the connectivity-1 (Eq. 3) and cut-net
+  (Eq. 2) cutsizes coincide (``lambda_j ∈ {1, 2}``), so one search
+  certifies both objectives;
+* **lower bound** — both key components are monotone along a DFS path:
+  part weights only grow, so the partial excess is exact, and a net with
+  pins on both sides stays cut.  On top of the already-cut-nets term the
+  bound adds *unassignable-net reasoning*: an uncut net whose assigned
+  pins all sit in part ``p`` must either be cut or pull **all** its
+  unassigned pin weight into ``p`` — if that weight exceeds ``p``'s
+  remaining capacity, the net's cost is added to the bound (staying
+  sound under the lexicographic key because the only escape, leaving the
+  net uncut, strictly grows the integer excess);
+* **symmetry breaking** — when no vertex is fixed and the two maximum
+  part weights agree, complement partitions are equivalent, so the first
+  vertex in DFS order is only ever assigned to part 0;
+* **budget** — a deterministic node budget (``max_nodes``) and/or a
+  wall-clock :class:`~repro.partitioner.resilience.Deadline`.  The
+  search always holds a complete incumbent (a greedy warm start built
+  before the DFS), so exhausting the budget degrades gracefully: the
+  best-found bipartition is returned with ``proven=False`` instead of a
+  certificate.  Passing only ``max_nodes`` keeps the outcome a pure
+  function of the inputs — the property the coarsest-level
+  ``initial_method="exact"`` integration relies on for bit-identical
+  results across machines.
+
+The solver is pure Python over plain lists — it exists to be obviously
+correct (the differential oracle for every heuristic layer above it),
+and the instances it certifies are tiny by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from repro._util import INDEX_DTYPE
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.partitioner.resilience import Deadline
+
+__all__ = ["ExactResult", "exact_bisection", "bisection_bounds"]
+
+#: supported cutsize objectives (numerically identical at k=2; both names
+#: are accepted so callers can state which of Eq. 2/3 they certify)
+OBJECTIVES = ("connectivity", "cutnet")
+
+#: deadline expiry is polled every this many expanded nodes (a monotonic
+#: clock read per node would dominate the search on tiny instances)
+_DEADLINE_STRIDE = 256
+
+
+@dataclass(frozen=True)
+class ExactResult:
+    """Outcome of :func:`exact_bisection`.
+
+    ``proven`` is the certificate: the DFS exhausted the search space
+    within budget, so ``(excess, cutsize)`` is the lexicographic minimum
+    over **all** bipartitions respecting the fixed vertices.  With
+    ``proven=False`` the result is only the best bipartition found
+    before the budget ran out — still valid, never certified.
+    """
+
+    #: side (0/1) per vertex — always a complete valid bipartition
+    part: np.ndarray
+    #: cutsize of :attr:`part` under :attr:`objective` (at k=2 the
+    #: connectivity-1 and cut-net cutsizes are the same number)
+    cutsize: int
+    #: total weight overflow beyond :attr:`max_weights` (0 = ε-feasible)
+    excess: int
+    #: objective name the caller asked for ("connectivity" or "cutnet")
+    objective: str
+    #: True when optimality was certified within the budget
+    proven: bool
+    #: B&B nodes expanded (vertex assignments tried)
+    nodes: int
+    #: wall-clock seconds spent in the solver
+    runtime: float
+    #: the per-side maximum weights the excess is measured against
+    max_weights: tuple[int, int]
+
+    def key(self) -> tuple[int, int]:
+        """The lexicographic quality key ``(excess, cutsize)``."""
+        return (self.excess, self.cutsize)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        tag = "optimal" if self.proven else "best-found"
+        return (
+            f"exact[{tag}] cut={self.cutsize} excess={self.excess} "
+            f"nodes={self.nodes} time={self.runtime:.3f}s"
+        )
+
+
+def bisection_bounds(
+    h: Hypergraph, epsilon: float, targets: tuple[int, int] | None = None
+) -> tuple[tuple[int, int], tuple[int, int]]:
+    """``(targets, max_weights)`` of a k=2 split, exactly as the
+    multilevel pipeline derives them (:func:`_split_targets` +
+    :func:`multilevel_bisect`), so exact and heuristic results are
+    comparable over the same feasible set."""
+    total = h.total_vertex_weight()
+    if targets is None:
+        t0 = int(round(total / 2))
+        targets = (t0, total - t0)
+    max_weights = (
+        int(targets[0] * (1.0 + epsilon)),
+        int(targets[1] * (1.0 + epsilon)),
+    )
+    return targets, max_weights
+
+
+def _search_order(h: Hypergraph, free: list[int]) -> list[int]:
+    """Deterministic DFS vertex order: BFS from the highest-degree free
+    vertex through shared nets (nets close early → tight cut bounds),
+    then any unreached vertices by decreasing weight, id as tiebreak."""
+    free_set = set(free)
+    if not free_set:
+        return []
+    xpins, pins = h.xpins_list(), h.pins_list()
+    xnets, vnets = h.xnets_list(), h.vnets_list()
+    degree = {v: xnets[v + 1] - xnets[v] for v in free_set}
+    order: list[int] = []
+    seen: set[int] = set()
+    remaining = sorted(free_set, key=lambda v: (-degree[v], v))
+    for root in remaining:
+        if root in seen:
+            continue
+        queue = [root]
+        seen.add(root)
+        while queue:
+            v = queue.pop(0)
+            order.append(v)
+            for t in range(xnets[v], xnets[v + 1]):
+                j = vnets[t]
+                for s in range(xpins[j], xpins[j + 1]):
+                    u = pins[s]
+                    if u in free_set and u not in seen:
+                        seen.add(u)
+                        queue.append(u)
+    # components are visited highest-degree-root first; within each the
+    # BFS order is fixed by the CSR arrays — fully deterministic
+    return order
+
+
+def exact_bisection(
+    h: Hypergraph,
+    epsilon: float = 0.03,
+    objective: str = "connectivity",
+    *,
+    targets: tuple[int, int] | None = None,
+    max_weights: tuple[int, int] | None = None,
+    fixed: np.ndarray | None = None,
+    max_nodes: int | None = None,
+    deadline: Deadline | float | None = None,
+) -> ExactResult:
+    """Certified-optimal (or budgeted best-found) bipartition of *h*.
+
+    Minimizes the lexicographic key ``(excess, cutsize)`` where
+    ``excess`` is the weight overflow beyond *max_weights* (derived from
+    *targets* and *epsilon* when not given, mirroring the multilevel
+    pipeline) and ``cutsize`` the k=2 cutsize — identical for both
+    objective names at k=2.
+
+    ``fixed`` (or ``h.fixed``) pins vertices to side 0/1; ``max_nodes``
+    and ``deadline`` bound the search (see :class:`ExactResult.proven`).
+    A ``deadline`` given as a float is interpreted as a fresh budget of
+    that many seconds.  Note only ``max_nodes`` is deterministic across
+    machines — a wall-clock budget may certify on one host and not
+    another.
+    """
+    t_start = perf_counter()
+    if objective not in OBJECTIVES:
+        raise ValueError(
+            f"unknown objective {objective!r}; expected one of {OBJECTIVES}"
+        )
+    if max_nodes is not None and max_nodes < 1:
+        raise ValueError("max_nodes must be >= 1 (or None)")
+    if isinstance(deadline, (int, float)):
+        deadline = Deadline(float(deadline))
+    if fixed is None:
+        fixed = h.fixed
+    nv = h.num_vertices
+    if fixed is not None:
+        fixed = np.asarray(fixed)
+        if len(fixed) != nv:
+            raise ValueError("fixed length mismatch")
+        if len(fixed) and int(fixed.max()) > 1:
+            raise ValueError("fixed part id out of range for a bipartition")
+
+    targets, maxw = bisection_bounds(h, epsilon, targets)
+    if max_weights is not None:
+        maxw = (int(max_weights[0]), int(max_weights[1]))
+
+    if nv == 0:
+        return ExactResult(
+            part=np.empty(0, dtype=INDEX_DTYPE),
+            cutsize=0,
+            excess=0,
+            objective=objective,
+            proven=True,
+            nodes=0,
+            runtime=perf_counter() - t_start,
+            max_weights=maxw,
+        )
+
+    w = h.weights_list()
+    cost = h.costs_list()
+    xpins, pins = h.xpins_list(), h.pins_list()
+    xnets, vnets = h.xnets_list(), h.vnets_list()
+    nn = h.num_nets
+
+    part = [-1] * nv
+    free: list[int] = []
+    if fixed is not None:
+        for v in range(nv):
+            f = int(fixed[v])
+            if f >= 0:
+                part[v] = f
+            else:
+                free.append(v)
+    else:
+        free = list(range(nv))
+
+    # ---- incremental net state ----------------------------------------
+    cnt = [[0, 0] for _ in range(nn)]  # assigned pins per side
+    freecnt = [xpins[j + 1] - xpins[j] for j in range(nn)]
+    freew = [0] * nn  # total weight of unassigned pins per net
+    for j in range(nn):
+        freew[j] = sum(w[pins[s]] for s in range(xpins[j], xpins[j + 1]))
+    W = [0, 0]
+    cut = 0
+
+    def apply(v: int, side: int) -> int:
+        """Assign *v* to *side*; returns the cut delta (for undo)."""
+        nonlocal cut
+        part[v] = side
+        W[side] += w[v]
+        delta = 0
+        for t in range(xnets[v], xnets[v + 1]):
+            j = vnets[t]
+            c = cnt[j]
+            freecnt[j] -= 1
+            freew[j] -= w[v]
+            if c[side] == 0 and c[1 - side] > 0:
+                delta += cost[j]  # net newly spans both sides
+            c[side] += 1
+        cut += delta
+        return delta
+
+    def undo(v: int, side: int, delta: int) -> None:
+        nonlocal cut
+        part[v] = -1
+        W[side] -= w[v]
+        cut -= delta
+        for t in range(xnets[v], xnets[v + 1]):
+            j = vnets[t]
+            cnt[j][side] -= 1
+            freecnt[j] += 1
+            freew[j] += w[v]
+
+    # pre-place the fixed vertices once; the DFS never revisits them
+    for v in range(nv):
+        if part[v] >= 0:
+            side, part[v] = part[v], -1
+            apply(v, side)
+
+    def excess_now() -> int:
+        return max(0, W[0] - maxw[0]) + max(0, W[1] - maxw[1])
+
+    order = _search_order(h, free)
+
+    # ---- greedy warm start: a complete incumbent always exists --------
+    deltas = []
+    for v in order:
+        d0 = apply(v, 0)
+        e0, c0 = excess_now(), cut
+        undo(v, 0, d0)
+        d1 = apply(v, 1)
+        e1, c1 = excess_now(), cut
+        undo(v, 1, d1)
+        side = 0 if (e0, c0, W[0] + w[v]) <= (e1, c1, W[1] + w[v]) else 1
+        deltas.append((v, side, apply(v, side)))
+    best_key = (excess_now(), cut)
+    best_part = list(part)
+    for v, side, delta in reversed(deltas):
+        undo(v, side, delta)
+
+    # ---- DFS with branch-and-bound ------------------------------------
+    symmetric = (
+        len(free) == len(order)
+        and len(order) == nv  # no fixed vertices at all
+        and maxw[0] == maxw[1]
+    )
+    nodes = 0
+    aborted = False
+    # nets whose must-cut status can matter: touched but not exhausted
+    open_nets: set[int] = {
+        j for j in range(nn) if (cnt[j][0] or cnt[j][1]) and freecnt[j]
+    }
+
+    def must_cut_extra() -> int:
+        """Unassignable-net reasoning: cost of uncut single-sided nets
+        whose unassigned pin weight cannot fit the single side.
+
+        Each such net must either be cut (cut grows by its cost) or pull
+        weight into the overfull side, raising the integer excess by at
+        least 1 — either way the final lexicographic key exceeds the
+        bound, so summing the costs is sound.  The ``> max(cap, 0)``
+        guard keeps the bound honest around zero-weight free pins (the
+        fine-grain model's dummy diagonal vertices): those can join the
+        single side without moving the excess at all.
+        """
+        cap0 = max(maxw[0] - W[0], 0)
+        cap1 = max(maxw[1] - W[1], 0)
+        extra = 0
+        for j in open_nets:
+            c0, c1 = cnt[j]
+            if c0 and c1:
+                continue  # already cut, already counted
+            if c0:
+                if freew[j] > cap0:
+                    extra += cost[j]
+            elif freew[j] > cap1:
+                extra += cost[j]
+        return extra
+
+    def search(i: int) -> None:
+        nonlocal nodes, best_key, best_part, aborted
+        if aborted:
+            return
+        if i == len(order):
+            key = (excess_now(), cut)
+            if key < best_key:
+                best_key = key
+                best_part = list(part)
+            return
+        nodes += 1
+        if max_nodes is not None and nodes > max_nodes:
+            aborted = True
+            return
+        if (
+            deadline is not None
+            and nodes % _DEADLINE_STRIDE == 0
+            and deadline.expired()
+        ):
+            aborted = True
+            return
+
+        v = order[i]
+        # probe both sides' cut deltas to explore the cheaper one first
+        # (better incumbents earlier → more pruning); fully deterministic
+        sides: tuple[int, ...]
+        if i == 0 and symmetric:
+            sides = (0,)
+        else:
+            d0 = 0
+            d1 = 0
+            for t in range(xnets[v], xnets[v + 1]):
+                j = vnets[t]
+                c0, c1 = cnt[j]
+                if c0 == 0 and c1 > 0:
+                    d0 += cost[j]
+                elif c1 == 0 and c0 > 0:
+                    d1 += cost[j]
+            if (d1, W[1] + w[v] > maxw[1]) < (d0, W[0] + w[v] > maxw[0]):
+                sides = (1, 0)
+            else:
+                sides = (0, 1)
+
+        touched = [
+            vnets[t]
+            for t in range(xnets[v], xnets[v + 1])
+            if freecnt[vnets[t]] == 1 and vnets[t] in open_nets
+        ]
+        newly_open = [
+            vnets[t]
+            for t in range(xnets[v], xnets[v + 1])
+            if cnt[vnets[t]][0] == 0
+            and cnt[vnets[t]][1] == 0
+            and freecnt[vnets[t]] > 1
+        ]
+        for side in sides:
+            delta = apply(v, side)
+            for j in touched:
+                open_nets.discard(j)  # last free pin consumed
+            for j in newly_open:
+                open_nets.add(j)
+            lb = (excess_now(), cut)
+            if lb < best_key:
+                lb = (lb[0], cut + must_cut_extra())
+            if lb < best_key:
+                search(i + 1)
+            for j in newly_open:
+                open_nets.discard(j)
+            for j in touched:
+                open_nets.add(j)
+            undo(v, side, delta)
+            if aborted:
+                return
+
+    # a zero-cut feasible incumbent is already optimal — skip the search
+    if best_key > (0, 0):
+        search(0)
+
+    return ExactResult(
+        part=np.asarray(best_part, dtype=INDEX_DTYPE),
+        cutsize=int(best_key[1]),
+        excess=int(best_key[0]),
+        objective=objective,
+        proven=not aborted,
+        nodes=nodes,
+        runtime=perf_counter() - t_start,
+        max_weights=maxw,
+    )

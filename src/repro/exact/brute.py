@@ -1,0 +1,75 @@
+"""Exhaustive bipartition enumeration — the oracle for the oracle.
+
+:func:`brute_force_bisection` enumerates all ``2^n_free`` assignments of
+the free vertices and scores each through the **independent** cutsize
+and weight oracles (:mod:`repro.hypergraph.partition`), sharing no code
+with the branch-and-bound solver it cross-checks.  It exists purely for
+``tests/test_exact.py`` — anything beyond ~20 free vertices is refused.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import INDEX_DTYPE
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.partition import (
+    compute_part_weights,
+    cutsize_connectivity,
+    cutsize_cutnet,
+)
+
+__all__ = ["brute_force_bisection", "MAX_BRUTE_VERTICES"]
+
+#: hard refusal threshold — 2^20 oracle evaluations is already slow
+MAX_BRUTE_VERTICES = 20
+
+
+def brute_force_bisection(
+    h: Hypergraph,
+    max_weights: tuple[int, int],
+    objective: str = "connectivity",
+    fixed: np.ndarray | None = None,
+) -> tuple[np.ndarray, int, int]:
+    """Return ``(part, cutsize, excess)`` minimizing the lexicographic
+    key ``(excess, cutsize)`` by trying every bipartition.
+
+    ``excess`` is the total weight overflow beyond *max_weights*; ties
+    between equal keys resolve to the first assignment in enumeration
+    order (free vertices flipped lowest-id-fastest), which makes the
+    result deterministic but not necessarily the same *vector* the B&B
+    returns — cross-checks must compare keys, not partition vectors.
+    """
+    if fixed is None:
+        fixed = h.fixed
+    nv = h.num_vertices
+    base = np.zeros(nv, dtype=INDEX_DTYPE)
+    free = list(range(nv))
+    if fixed is not None:
+        fixed = np.asarray(fixed)
+        free = [v for v in range(nv) if fixed[v] < 0]
+        base = np.where(fixed >= 0, fixed, 0).astype(INDEX_DTYPE)
+    if len(free) > MAX_BRUTE_VERTICES:
+        raise ValueError(
+            f"{len(free)} free vertices exceeds the brute-force cap "
+            f"({MAX_BRUTE_VERTICES}); use exact_bisection instead"
+        )
+    score = cutsize_cutnet if objective == "cutnet" else cutsize_connectivity
+
+    best_key: tuple[int, int] | None = None
+    best_part: np.ndarray | None = None
+    for mask in range(1 << len(free)):
+        part = base.copy()
+        for i, v in enumerate(free):
+            part[v] = (mask >> i) & 1
+        w = compute_part_weights(h, part, 2)
+        excess = int(
+            max(0, int(w[0]) - max_weights[0])
+            + max(0, int(w[1]) - max_weights[1])
+        )
+        key = (excess, int(score(h, part)))
+        if best_key is None or key < best_key:
+            best_key, best_part = key, part
+    if best_part is None:  # nv == 0: the empty bipartition
+        return base, 0, 0
+    return best_part, best_key[1], best_key[0]

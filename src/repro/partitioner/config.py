@@ -91,6 +91,21 @@ class ModelConfig:
     max_net_size_coarsen: int = 300
     #: number of initial-partitioning starts; the best bisection is kept
     n_initial_starts: int = 5
+    #: coarsest-level initial partitioner: "ghg" (the best-of-N greedy
+    #: hypergraph growing + random starts, PaToH-style) or "exact" (the
+    #: branch-and-bound bipartitioner of :mod:`repro.exact`, attempted
+    #: first under ``exact_initial_nodes``; when it certifies, its optimal
+    #: bisection of the coarsest hypergraph is used, otherwise the GHG
+    #: path runs bit-identically — the exact attempt consumes no RNG)
+    initial_method: str = "ghg"
+    #: node budget of the ``initial_method="exact"`` attempt.  A *node*
+    #: budget, not wall clock, so the outcome — certified or fallback —
+    #: is a pure function of the inputs on every machine
+    exact_initial_nodes: int = 100_000
+    #: ``initial_method="exact"`` is only attempted when the coarsest
+    #: hypergraph has at most this many vertices (beyond it the search
+    #: would burn the node budget without certifying anyway)
+    exact_initial_vertices: int = 32
     #: maximum FM passes per uncoarsening level
     fm_passes: int = 3
     #: an FM pass aborts after this many consecutive non-improving moves
@@ -140,6 +155,15 @@ class ModelConfig:
             raise ValueError("coarsen_to must be at least 2")
         if self.n_initial_starts < 1 or self.n_runs < 1:
             raise ValueError("n_initial_starts and n_runs must be >= 1")
+        if self.initial_method not in ("ghg", "exact"):
+            raise ValueError(
+                f"unknown initial_method {self.initial_method!r}; "
+                f"expected 'ghg' or 'exact'"
+            )
+        if self.exact_initial_nodes < 1:
+            raise ValueError("exact_initial_nodes must be >= 1")
+        if self.exact_initial_vertices < 0:
+            raise ValueError("exact_initial_vertices must be >= 0")
         if self.n_vcycles < 0:
             raise ValueError("n_vcycles must be >= 0")
         if self.n_starts < 1:

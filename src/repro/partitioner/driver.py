@@ -115,6 +115,7 @@ def partition_hypergraph(
             nets=h.num_nets,
             pins=h.num_pins,
             tree_parallel=cfg.tree_parallel,
+            initial=cfg.initial_method,
         ) as psp, use_arena():
             for run in range(cfg.n_runs):
                 with rec.span("partition.run", run=run) as rsp, Timer() as t:

@@ -225,6 +225,14 @@ def initial_bisection(
     Candidates are ranked by (balance feasibility, cut); the winner is
     returned un-refined at the caller's level — refinement already happened
     here on the coarsest hypergraph.
+
+    With ``cfg.initial_method == "exact"`` and a small enough coarsest
+    hypergraph, the branch-and-bound bipartitioner of :mod:`repro.exact`
+    is tried first under ``cfg.exact_initial_nodes``: a certified result
+    is returned as-is (it is lexicographically optimal — no FM pass or
+    extra start can beat it), and a budget-exhausted one is discarded in
+    favor of the heuristic loop below.  The exact attempt consumes no
+    RNG, so the fallback is bit-identical to ``initial_method="ghg"``.
     """
     from repro.partitioner.kernels import resolve_kernel
 
@@ -234,6 +242,28 @@ def initial_bisection(
     w = h.vertex_weights
     kern = resolve_kernel(getattr(cfg, "kernel", "python"))
     rec = get_recorder()
+    if (
+        cfg.initial_method == "exact"
+        and h.num_vertices <= cfg.exact_initial_vertices
+    ):
+        from repro.exact import exact_bisection
+
+        with rec.span(
+            "initial.exact",
+            vertices=h.num_vertices,
+            budget=cfg.exact_initial_nodes,
+        ) as sp:
+            res = exact_bisection(
+                h,
+                targets=targets,
+                max_weights=max_weights,
+                fixed=fixed,
+                max_nodes=cfg.exact_initial_nodes,
+            )
+            sp.set(proven=res.proven, nodes=res.nodes)
+            if res.proven:
+                sp.set(cut=res.cutsize, excess=res.excess)
+                return res.part
     with rec.span(
         "initial",
         vertices=h.num_vertices,

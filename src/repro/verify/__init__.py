@@ -37,6 +37,7 @@ _EXPORTS = {
     "oracle_volume": "repro.verify.oracles",
     "oracle_consistency": "repro.verify.oracles",
     "oracle_cutsize_connectivity": "repro.verify.oracles",
+    "exact_optimality_gap": "repro.verify.oracles",
     # replay
     "ReplayVariant": "repro.verify.replay",
     "ReplayReport": "repro.verify.replay",

@@ -57,11 +57,18 @@ __all__ = [
     "oracle_validate",
     "oracle_consistency",
     "oracle_volume",
+    "exact_optimality_gap",
     "check_partition",
     "check_decomposition",
     "check_all",
     "verify_decompose",
 ]
+
+#: default branch-and-bound node budget for ``exact_gap`` audits — enough
+#: to certify every coarsest-level-sized instance the test corpus uses,
+#: small enough that an accidental large instance degrades to
+#: ``proven=False`` instead of hanging the audit
+DEFAULT_EXACT_NODES = 200_000
 
 
 class VerificationError(AssertionError):
@@ -89,6 +96,9 @@ class VerificationReport:
     #: what was verified, e.g. ``decompose(method=finegrain, k=8)``
     subject: str
     checks: list[CheckResult] = field(default_factory=list)
+    #: structured side-band data (e.g. the ``"exact"`` optimality-gap
+    #: record) — serialized by :meth:`to_dict` alongside the checks
+    extras: dict = field(default_factory=dict)
 
     def add(self, name: str, passed: bool, detail: str = "") -> bool:
         """Record one check; returns ``passed`` for chaining."""
@@ -123,7 +133,7 @@ class VerificationReport:
 
     def to_dict(self) -> dict:
         """JSON-friendly form."""
-        return {
+        doc = {
             "subject": self.subject,
             "passed": self.passed,
             "checks": [
@@ -131,6 +141,9 @@ class VerificationReport:
                 for c in self.checks
             ],
         }
+        if self.extras:
+            doc["extras"] = self.extras
+        return doc
 
 
 # ----------------------------------------------------------------------
@@ -278,6 +291,54 @@ def oracle_volume(dec: Decomposition) -> dict:
 
 
 # ----------------------------------------------------------------------
+# exact optimality gap (k=2 only; see repro.exact)
+# ----------------------------------------------------------------------
+def exact_optimality_gap(
+    h: Hypergraph,
+    part,
+    *,
+    epsilon: float = 0.03,
+    max_nodes: int | None = DEFAULT_EXACT_NODES,
+    objective: str = "connectivity",
+) -> dict:
+    """True optimality gap of a bipartition via the branch-and-bound solver.
+
+    Returns a JSON-friendly record: the heuristic's ``(excess, cut)`` key,
+    the exact solver's certified (or best-found) key, ``gap = cut -
+    exact_cut`` and ``proven``.  The gap is only a certificate when
+    ``proven`` is true; comparisons use the lexicographic key, so a
+    balance-infeasible heuristic partition is never reported as "beating"
+    a feasible optimum.
+    """
+    from repro.exact import bisection_bounds, exact_bisection
+
+    part = np.asarray(part)
+    res = exact_bisection(
+        h, epsilon, objective, max_nodes=max_nodes, fixed=h.fixed
+    )
+    _, maxw = bisection_bounds(h, epsilon)
+    w = oracle_part_weights(h, part, 2)
+    excess = max(0, w[0] - maxw[0]) + max(0, w[1] - maxw[1])
+    cut = (
+        oracle_cutsize_cutnet(h, part)
+        if objective == "cutnet"
+        else oracle_cutsize_connectivity(h, part)
+    )
+    return {
+        "objective": objective,
+        "cut": cut,
+        "excess": excess,
+        "exact_cut": res.cutsize,
+        "exact_excess": res.excess,
+        "gap": cut - res.cutsize,
+        "proven": res.proven,
+        "nodes": res.nodes,
+        "runtime": res.runtime,
+        "max_weights": list(maxw),
+    }
+
+
+# ----------------------------------------------------------------------
 # structured cross-checks (oracle vs production)
 # ----------------------------------------------------------------------
 def check_partition(
@@ -288,10 +349,27 @@ def check_partition(
     epsilon: float = 0.03,
     expected_cutsize: int | None = None,
     strict_balance: bool = False,
+    exact_gap: bool = False,
+    exact_nodes: int | None = DEFAULT_EXACT_NODES,
     report: VerificationReport | None = None,
 ) -> VerificationReport:
     """Audit a partition: validity, balance, and every metric cross-checked
-    against its vectorized production implementation."""
+    against its vectorized production implementation.
+
+    *part* may be a plain ndarray/list, or an
+    :class:`~repro.exact.ExactResult` (the solver's own output is then
+    audited directly, its claimed cutsize becoming ``expected_cutsize``) —
+    no driver-produced ``PartitionResult`` is required.  With
+    ``exact_gap=True`` (k=2 only) the branch-and-bound solver runs under
+    ``exact_nodes`` and the true optimality gap lands in
+    ``report.extras["exact"]`` (and thus ``to_dict()``).
+    """
+    if hasattr(part, "part") and hasattr(part, "cutsize"):
+        # an ExactResult (or duck-typed equivalent): audit its own vector
+        # and hold it to the cutsize it claims
+        if expected_cutsize is None:
+            expected_cutsize = int(part.cutsize)
+        part = part.part
     part = np.asarray(part)
     if k is None:
         k = int(part.max()) + 1 if len(part) else 1
@@ -357,6 +435,45 @@ def check_partition(
             cut_oracle == int(expected_cutsize),
             f"oracle={cut_oracle} reported={int(expected_cutsize)}",
         )
+
+    if exact_gap:
+        if k != 2:
+            rep.add(
+                "exact.gap",
+                True,
+                f"skipped: the exact oracle certifies bipartitions only (k={k})",
+            )
+        else:
+            gap = exact_optimality_gap(
+                h, part, epsilon=epsilon, max_nodes=exact_nodes
+            )
+            rep.extras["exact"] = gap
+            tag = "certified" if gap["proven"] else "budget-exhausted (lower bound only best-found)"
+            rep.add(
+                "exact.gap",
+                True,
+                f"gap={gap['gap']} ({tag}; exact cut={gap['exact_cut']}, "
+                f"nodes={gap['nodes']})",
+            )
+            # optimality is a one-sided bound: no heuristic partition may
+            # lexicographically beat a certified optimum — if one does,
+            # the solver (not the heuristic) is wrong
+            if gap["proven"]:
+                h_key = (gap["excess"], gap["cut"])
+                e_key = (gap["exact_excess"], gap["exact_cut"])
+                rep.add(
+                    "exact.lower_bound",
+                    h_key >= e_key,
+                    f"heuristic(excess,cut)={h_key} certified optimum={e_key}",
+                )
+            # at k=2 both paper objectives coincide; the exact solver's
+            # claim must agree with BOTH independent oracles
+            cn2 = oracle_cutsize_cutnet(h, part)
+            rep.add(
+                "exact.objectives_coincide",
+                cut_oracle == cn2,
+                f"connectivity={cut_oracle} cutnet={cn2} (must match at k=2)",
+            )
     return rep
 
 
@@ -415,6 +532,8 @@ def check_all(
     expected_cutsize: int | None = None,
     cut_equals_volume: bool = False,
     strict_balance: bool = False,
+    exact_gap: bool = False,
+    exact_nodes: int | None = DEFAULT_EXACT_NODES,
     report: VerificationReport | None = None,
 ) -> VerificationReport:
     """Run every applicable oracle and return one structured report.
@@ -422,7 +541,8 @@ def check_all(
     ``model`` enables the §3 consistency checks (fine-grain hypergraphs);
     ``dec`` enables the decomposition/volume checks; ``cut_equals_volume``
     asserts the paper's theorem — Eq. 3 cutsize of (*h*, *part*) equals the
-    expand+fold volume of *dec* exactly.
+    expand+fold volume of *dec* exactly; ``exact_gap`` additionally runs
+    the branch-and-bound optimality audit (k=2 only).
     """
     part = np.asarray(part)
     if k is None:
@@ -436,6 +556,8 @@ def check_all(
         epsilon=epsilon,
         expected_cutsize=expected_cutsize,
         strict_balance=strict_balance,
+        exact_gap=exact_gap,
+        exact_nodes=exact_nodes,
         report=rep,
     )
     if not rep.passed and rep.checks[-1].name == "partition.valid":
@@ -461,7 +583,14 @@ def check_all(
 # ----------------------------------------------------------------------
 # end-to-end audit of a decompose() result
 # ----------------------------------------------------------------------
-def verify_decompose(a, res, epsilon: float = 0.03, strict_balance: bool = False) -> VerificationReport:
+def verify_decompose(
+    a,
+    res,
+    epsilon: float = 0.03,
+    strict_balance: bool = False,
+    exact_gap: bool = False,
+    exact_nodes: int | None = DEFAULT_EXACT_NODES,
+) -> VerificationReport:
     """Rebuild the model of a :func:`repro.decompose` result and audit it.
 
     *res* needs attributes ``method``, ``k``, ``part``, ``cutsize`` and
@@ -518,6 +647,8 @@ def verify_decompose(a, res, epsilon: float = 0.03, strict_balance: bool = False
         expected_cutsize=expected,
         cut_equals_volume=equivalence,
         strict_balance=strict_balance,
+        exact_gap=exact_gap,
+        exact_nodes=exact_nodes,
         report=rep,
     )
     return rep

@@ -1,0 +1,251 @@
+"""Unit suite for the branch-and-bound exact bipartitioner.
+
+The load-bearing test is the differential one: on every hypergraph small
+enough to enumerate, the B&B result must match the brute-force optimum
+**bit-exactly on the lexicographic quality key** for both paper
+objectives.  Around it: budget semantics (exhaustion returns a valid
+partition with ``proven=False``), symmetry breaking, fixed vertices, and
+the degenerate shapes (empty hypergraph, single vertex, one dominant
+weight) that make balance infeasible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exact import (
+    MAX_BRUTE_VERTICES,
+    ExactResult,
+    bisection_bounds,
+    brute_force_bisection,
+    exact_bisection,
+)
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.partition import (
+    compute_part_weights,
+    cutsize_connectivity,
+    cutsize_cutnet,
+)
+from repro.partitioner.resilience import Deadline
+
+from tests.conftest import random_hypergraph
+
+
+def _assert_scores_match(h, res: ExactResult) -> None:
+    """The result's claimed cut/excess must equal independent recomputes."""
+    score = cutsize_cutnet if res.objective == "cutnet" else cutsize_connectivity
+    assert int(score(h, res.part)) == res.cutsize
+    w = compute_part_weights(h, res.part, 2)
+    excess = max(0, int(w[0]) - res.max_weights[0]) + max(
+        0, int(w[1]) - res.max_weights[1]
+    )
+    assert excess == res.excess
+
+
+# ----------------------------------------------------------------------
+# differential: exact vs exhaustive enumeration
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("objective", ["connectivity", "cutnet"])
+@pytest.mark.parametrize("weighted", [False, True])
+def test_exact_matches_brute_force(objective, weighted):
+    rng = np.random.default_rng(20260809)
+    for trial in range(60):
+        nv = int(rng.integers(1, 13))  # <= 12 vertices: enumerable
+        nn = int(rng.integers(1, 11))
+        h = random_hypergraph(rng, nv, nn, weighted=weighted)
+        eps = [0.03, 0.1, 0.5][trial % 3]
+        _, maxw = bisection_bounds(h, eps)
+        res = exact_bisection(h, eps, objective)
+        assert res.proven, f"trial {trial} did not certify"
+        _assert_scores_match(h, res)
+        _bp, bcut, bexc = brute_force_bisection(h, maxw, objective)
+        assert (res.excess, res.cutsize) == (bexc, bcut), (
+            f"trial {trial}: B&B ({res.excess}, {res.cutsize}) != "
+            f"brute force ({bexc}, {bcut})"
+        )
+
+
+def test_exact_matches_brute_force_with_fixed_vertices():
+    rng = np.random.default_rng(7)
+    for trial in range(25):
+        nv = int(rng.integers(2, 11))
+        h0 = random_hypergraph(rng, nv, int(rng.integers(1, 8)))
+        fixed = np.full(nv, -1, dtype=np.int64)
+        fixed[0] = 0
+        if nv > 2:
+            fixed[1] = 1
+        h = Hypergraph(
+            nv, h0.xpins, h0.pins, vertex_weights=h0.vertex_weights, fixed=fixed
+        )
+        _, maxw = bisection_bounds(h, 0.1)
+        res = exact_bisection(h, 0.1)
+        assert res.proven
+        assert all(int(res.part[v]) == fixed[v] for v in range(nv) if fixed[v] >= 0)
+        _bp, bcut, bexc = brute_force_bisection(h, maxw, "connectivity")
+        assert (res.excess, res.cutsize) == (bexc, bcut)
+
+
+def test_both_objectives_coincide_at_k2():
+    rng = np.random.default_rng(99)
+    for _ in range(20):
+        h = random_hypergraph(rng, int(rng.integers(2, 12)), int(rng.integers(1, 9)))
+        a = exact_bisection(h, 0.1, "connectivity")
+        b = exact_bisection(h, 0.1, "cutnet")
+        assert (a.excess, a.cutsize) == (b.excess, b.cutsize)
+
+
+# ----------------------------------------------------------------------
+# budget semantics
+# ----------------------------------------------------------------------
+def test_budget_exhaustion_returns_valid_unproven_partition():
+    rng = np.random.default_rng(5)
+    h = random_hypergraph(rng, 24, 30)
+    res = exact_bisection(h, 0.03, max_nodes=10)
+    assert not res.proven
+    assert res.nodes <= 11  # the counter trips right past the budget
+    assert len(res.part) == 24
+    assert set(np.unique(res.part)) <= {0, 1}
+    _assert_scores_match(h, res)  # best-found is still internally consistent
+
+
+def test_node_budget_is_deterministic():
+    rng = np.random.default_rng(6)
+    h = random_hypergraph(rng, 20, 24)
+    a = exact_bisection(h, 0.03, max_nodes=50)
+    b = exact_bisection(h, 0.03, max_nodes=50)
+    assert np.array_equal(a.part, b.part)
+    assert (a.proven, a.nodes, a.cutsize, a.excess) == (
+        b.proven,
+        b.nodes,
+        b.cutsize,
+        b.excess,
+    )
+
+
+def test_expired_deadline_still_returns_a_partition():
+    rng = np.random.default_rng(8)
+    h = random_hypergraph(rng, 22, 28)
+    dl = Deadline(0.0)  # already expired on entry
+    res = exact_bisection(h, 0.03, deadline=dl)
+    assert len(res.part) == 22
+    _assert_scores_match(h, res)
+
+
+def test_float_deadline_accepted():
+    rng = np.random.default_rng(9)
+    h = random_hypergraph(rng, 8, 6)
+    res = exact_bisection(h, 0.1, deadline=30.0)
+    assert res.proven  # tiny instance certifies long before 30s
+
+
+def test_invalid_arguments_rejected():
+    h = Hypergraph(2, [0, 2], [0, 1])
+    with pytest.raises(ValueError, match="objective"):
+        exact_bisection(h, objective="soap")
+    with pytest.raises(ValueError, match="max_nodes"):
+        exact_bisection(h, max_nodes=0)
+    with pytest.raises(ValueError, match="fixed"):
+        exact_bisection(h, fixed=np.array([0]))
+    with pytest.raises(ValueError, match="part id"):
+        exact_bisection(h, fixed=np.array([0, 3]))
+    with pytest.raises(ValueError, match="brute-force cap"):
+        brute_force_bisection(
+            Hypergraph(MAX_BRUTE_VERTICES + 1, [0], []), (1, 1)
+        )
+
+
+# ----------------------------------------------------------------------
+# symmetry breaking
+# ----------------------------------------------------------------------
+def test_symmetry_breaking_halves_the_search():
+    rng = np.random.default_rng(11)
+    h = random_hypergraph(rng, 10, 10)
+    sym = exact_bisection(h, 0.1)  # max0 == max1, no fixed: first vertex pinned
+    fixed = np.full(10, -1, dtype=np.int64)
+    fixed[0] = 0  # fixing an arbitrary vertex disables the shortcut
+    h_fixed = Hypergraph(10, h.xpins, h.pins, fixed=fixed)
+    asym = exact_bisection(h_fixed, 0.1)
+    assert sym.proven and asym.proven
+    # symmetry breaking must not change the certified optimum value
+    _, maxw = bisection_bounds(h, 0.1)
+    _bp, bcut, bexc = brute_force_bisection(h, maxw, "connectivity")
+    assert (sym.excess, sym.cutsize) == (bexc, bcut)
+
+
+def test_symmetry_breaking_disabled_for_asymmetric_bounds():
+    # asymmetric targets: the complement of a feasible optimum may be
+    # infeasible, so both sides of the first vertex must be explored
+    rng = np.random.default_rng(12)
+    h = random_hypergraph(rng, 9, 8, weighted=True)
+    total = h.total_vertex_weight()
+    targets = (max(total - 1, 1), min(1, total))
+    res = exact_bisection(h, 0.0, targets=targets)
+    assert res.proven
+    maxw = (int(targets[0]), int(targets[1]))
+    _bp, bcut, bexc = brute_force_bisection(h, maxw, "connectivity")
+    assert (res.excess, res.cutsize) == (bexc, bcut)
+
+
+# ----------------------------------------------------------------------
+# degenerate / balance-infeasible shapes
+# ----------------------------------------------------------------------
+def test_empty_hypergraph():
+    res = exact_bisection(Hypergraph(0, [0], []))
+    assert res.proven
+    assert res.cutsize == 0 and res.excess == 0
+    assert len(res.part) == 0
+
+
+def test_single_vertex():
+    # total weight 1 splits into targets (0, 1): parking the vertex in
+    # part 1 is feasible, so the certified optimum is (excess=0, cut=0)
+    res = exact_bisection(Hypergraph(1, [0, 1], [0]))
+    assert res.proven and res.cutsize == 0 and res.excess == 0
+    assert int(res.part[0]) == 1
+    # under even targets the same vertex is genuinely unsplittable
+    forced = exact_bisection(
+        Hypergraph(1, [0, 1], [0], vertex_weights=[2]), targets=(1, 1)
+    )
+    assert forced.proven and forced.excess > 0
+
+
+def test_all_weight_on_one_vertex_is_least_infeasible():
+    # one vertex carries everything: no eps-balanced bipartition exists;
+    # the solver must return the least-infeasible certified answer, not
+    # raise and not pretend feasibility
+    h = Hypergraph(4, [0, 4], [0, 1, 2, 3], vertex_weights=[99, 1, 1, 1])
+    res = exact_bisection(h, 0.03)
+    assert res.proven
+    assert res.excess > 0
+    _, maxw = bisection_bounds(h, 0.03)
+    _bp, bcut, bexc = brute_force_bisection(h, maxw, "connectivity")
+    assert (res.excess, res.cutsize) == (bexc, bcut)
+
+
+def test_zero_weight_vertices_certify():
+    # zero-weight dummies (the fine-grain model's diagonal fillers) can
+    # sit anywhere without moving the balance; the must-cut bound has to
+    # stay sound in their presence
+    h = Hypergraph(
+        6,
+        [0, 3, 6, 8],
+        [0, 1, 4, 2, 3, 5, 0, 2],
+        vertex_weights=[1, 1, 1, 1, 0, 0],
+    )
+    res = exact_bisection(h, 0.03)
+    assert res.proven
+    _, maxw = bisection_bounds(h, 0.03)
+    _bp, bcut, bexc = brute_force_bisection(h, maxw, "connectivity")
+    assert (res.excess, res.cutsize) == (bexc, bcut)
+
+
+def test_result_summary_and_key():
+    h = Hypergraph(2, [0, 2], [0, 1])
+    res = exact_bisection(h)
+    assert res.key() == (res.excess, res.cutsize)
+    assert "optimal" in res.summary()
+    rng = np.random.default_rng(13)
+    budget = exact_bisection(random_hypergraph(rng, 24, 30), max_nodes=1)
+    assert not budget.proven
+    assert "best-found" in budget.summary()

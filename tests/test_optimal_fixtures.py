@@ -1,0 +1,122 @@
+"""Known-optimal fixture parity suite.
+
+Every committed entry in ``tests/data/optimal/optimal_cuts.json`` is
+re-certified by the branch-and-bound solver on every run (both paper
+objectives), and the multilevel pipeline is held to the resulting hard
+quality floor: its lexicographic ``(excess, cut)`` key may never beat a
+certified optimum, and with ``initial_method="exact"`` it may never end
+worse than the default GHG initial on these instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exact import exact_bisection
+from repro.hypergraph.partition import compute_part_weights, cutsize_connectivity
+from repro.partitioner import PartitionerConfig, partition_hypergraph
+from repro.verify import check_partition
+
+from tests.optimal_fixtures import (
+    EPSILON,
+    OPTIMA,
+    check_optimal,
+    fixture_hypergraphs,
+)
+
+FIXTURES = list(fixture_hypergraphs())
+FIXTURE_IDS = [key for key, _m, _model, _h in FIXTURES]
+
+
+def _heuristic_key(h, part, max_weights) -> tuple[int, int]:
+    w = compute_part_weights(h, part, 2)
+    excess = int(
+        max(0, int(w[0]) - max_weights[0]) + max(0, int(w[1]) - max_weights[1])
+    )
+    return (excess, int(cutsize_connectivity(h, part)))
+
+
+def test_registry_covers_every_fixture():
+    # a fixture without a committed entry (or a stale orphan entry) means
+    # the generator and the registry drifted apart
+    assert sorted(OPTIMA) == sorted(FIXTURE_IDS)
+
+
+def test_all_five_models_represented():
+    models = {model for _k, _m, model, _h in FIXTURES}
+    assert models == {"finegrain", "finegrain-rect", "columnnet", "rownet", "graph"}
+
+
+@pytest.mark.parametrize("key,mname,model,h", FIXTURES, ids=FIXTURE_IDS)
+def test_certified_optimum_matches_registry(key, mname, model, h):
+    # re-proves the recorded (excess, cut) with proven=True for BOTH
+    # objectives (check_optimal certifies connectivity and cutnet and
+    # asserts they coincide at k=2)
+    check_optimal(key, h)
+
+
+@pytest.mark.parametrize("key,mname,model,h", FIXTURES, ids=FIXTURE_IDS)
+def test_exact_partition_audits_gap_zero(key, mname, model, h):
+    # the solver's own partition, pushed through the independent oracle
+    # audit as a bare ExactResult, must report optimality gap 0
+    res = exact_bisection(h, EPSILON)
+    rep = check_partition(h, res, 2, epsilon=EPSILON, exact_gap=True)
+    assert rep.passed, rep.summary()
+    assert rep.extras["exact"]["gap"] == 0
+    assert rep.extras["exact"]["proven"]
+    assert rep.to_dict()["extras"]["exact"]["gap"] == 0
+
+
+@pytest.mark.parametrize("key,mname,model,h", FIXTURES, ids=FIXTURE_IDS)
+def test_multilevel_never_beats_certified_optimum(key, mname, model, h):
+    gold = OPTIMA[key]
+    optimum = (gold["excess"], gold["cut"])
+    cfg = PartitionerConfig(epsilon=EPSILON)
+    for seed in (0, 1):
+        res = partition_hypergraph(h, 2, cfg, seed=seed)
+        _, maxw = _bounds(h)
+        key2 = _heuristic_key(h, res.part, maxw)
+        assert key2 >= optimum, (
+            f"{key} seed={seed}: multilevel {key2} beats the certified "
+            f"optimum {optimum} — the exact solver is wrong"
+        )
+
+
+@pytest.mark.parametrize("key,mname,model,h", FIXTURES, ids=FIXTURE_IDS)
+def test_exact_initial_no_worse_than_ghg(key, mname, model, h):
+    gold = OPTIMA[key]
+    _, maxw = _bounds(h)
+    cfg_ghg = PartitionerConfig(epsilon=EPSILON)
+    cfg_exact = PartitionerConfig(
+        epsilon=EPSILON,
+        initial_method="exact",
+        exact_initial_vertices=max(64, h.num_vertices),
+    )
+    for seed in (0,):
+        r_ghg = partition_hypergraph(h, 2, cfg_ghg, seed=seed)
+        r_exact = partition_hypergraph(h, 2, cfg_exact, seed=seed)
+        k_ghg = _heuristic_key(h, r_ghg.part, maxw)
+        k_exact = _heuristic_key(h, r_exact.part, maxw)
+        assert k_exact <= k_ghg, (
+            f"{key} seed={seed}: exact initial {k_exact} worse than GHG {k_ghg}"
+        )
+        # these instances have no coarsening levels to climb back up, so
+        # the exact initial must land the whole pipeline on the optimum
+        assert k_exact == (gold["excess"], gold["cut"])
+
+
+def test_graph_and_columnnet_fixtures_agree():
+    # verify_decompose audits the graph method against the column-net
+    # hypergraph; their certified optima must therefore be identical
+    for key, entry in OPTIMA.items():
+        if key.endswith(":graph"):
+            twin = key.replace(":graph", ":columnnet")
+            assert OPTIMA[twin]["cut"] == entry["cut"], (key, twin)
+            assert OPTIMA[twin]["excess"] == entry["excess"], (key, twin)
+
+
+def _bounds(h):
+    from repro.exact import bisection_bounds
+
+    return bisection_bounds(h, EPSILON)

@@ -155,3 +155,70 @@ def test_vectorized_metrics_match_oracles(h, data):
     assert list(net_connectivities(h, part)) == oracle_net_connectivities(h, part)
     assert cutsize_connectivity(h, part) == oracle_cutsize_connectivity(h, part)
     assert cutsize_cutnet(h, part) == oracle_cutsize_cutnet(h, part)
+
+
+# ----------------------------------------------------------------------
+# the exact solver is a hard quality floor under the multilevel heuristic
+# ----------------------------------------------------------------------
+def _bisection_key(h, part, epsilon: float) -> tuple[int, int]:
+    """The lexicographic (excess, cut) key the whole partitioner ranks by,
+    measured against the pipeline's own k=2 weight bounds."""
+    from repro.exact import bisection_bounds
+
+    _, maxw = bisection_bounds(h, epsilon)
+    w = compute_part_weights(h, part, 2)
+    excess = int(max(0, int(w[0]) - maxw[0]) + max(0, int(w[1]) - maxw[1]))
+    return (excess, int(cutsize_connectivity(h, part)))
+
+
+@given(h=hypergraphs(max_vertices=12, max_nets=10), seed=st.integers(0, 3))
+@settings(max_examples=25, deadline=None)
+def test_multilevel_never_beats_exact(h, seed):
+    """On any small hypergraph the multilevel cut is >= the certified
+    optimum — in the lexicographic (excess, cut) order, so an infeasible
+    heuristic result cannot masquerade as a win via a smaller raw cut."""
+    from repro.exact import exact_bisection
+    from repro.partitioner import PartitionerConfig, partition_hypergraph
+
+    exact = exact_bisection(h, 0.1)
+    assert exact.proven
+    res = partition_hypergraph(h, 2, PartitionerConfig(epsilon=0.1), seed=seed)
+    assert _bisection_key(h, res.part, 0.1) >= (exact.excess, exact.cutsize)
+
+
+@given(h=hypergraphs(max_vertices=12, max_nets=10), seed=st.integers(0, 3))
+@settings(max_examples=25, deadline=None)
+def test_exact_initial_lands_on_the_optimum(h, seed):
+    """With initial_method="exact" unbudgeted, instances small enough to
+    skip coarsening must come out of the whole pipeline exactly optimal:
+    the initial bisection is certified and no later stage may worsen it."""
+    from repro.exact import exact_bisection
+    from repro.partitioner import PartitionerConfig, partition_hypergraph
+
+    exact = exact_bisection(h, 0.1)
+    assert exact.proven
+    cfg = PartitionerConfig(
+        epsilon=0.1,
+        initial_method="exact",
+        exact_initial_vertices=64,
+        exact_initial_nodes=50_000_000,
+    )
+    res = partition_hypergraph(h, 2, cfg, seed=seed)
+    assert _bisection_key(h, res.part, 0.1) == (exact.excess, exact.cutsize)
+
+
+def test_known_optimal_fixtures_floor_the_heuristic():
+    """The committed known-optimal fixtures, replayed as properties under
+    the bounded "repro" profile: the heuristic may match but never beat
+    any certified optimum, and exact-initial always lands on it."""
+    from repro.partitioner import PartitionerConfig, partition_hypergraph
+    from tests.optimal_fixtures import EPSILON, OPTIMA, fixture_hypergraphs
+
+    cfg = PartitionerConfig(epsilon=EPSILON)
+    for key, _mname, _model, h in fixture_hypergraphs():
+        gold = OPTIMA[key]
+        res = partition_hypergraph(h, 2, cfg, seed=0)
+        assert _bisection_key(h, res.part, EPSILON) >= (
+            gold["excess"],
+            gold["cut"],
+        ), key
