@@ -49,6 +49,14 @@ serve
     deadline-degraded request and, with ``--faults``, one request that
     must survive an injected worker crash); write BENCH_serve.json.
     Exits 1 when any correctness check fails.
+chaos
+    Run the serve-layer fault schedule against live daemons — baseline
+    load, daemon SIGKILL mid-compute + warm restart (journal replay),
+    disk cache corruption, journal-write failure, engine worker kill —
+    comparing every served partition byte-for-byte against local
+    goldens; write BENCH_chaos.json.  ``--quick`` shrinks the load to a
+    CI smoke.  Exits 1 on any byte divergence, failed recovery, or
+    leaked shm/tmp resource.
 exact
     Certify the optimal bipartition of every model of a tiny-matrix
     corpus with the branch-and-bound solver, then report the multilevel
@@ -93,12 +101,12 @@ def _parse(argv):
         choices=[
             "table1", "table2", "summary", "models2d", "experiments",
             "multistart", "treeparallel", "verify", "serve", "kernels",
-            "vcycle", "exact",
+            "vcycle", "exact", "chaos",
         ],
     )
     p.add_argument("--quick", action="store_true",
-                   help="vcycle command: small instances, one repetition "
-                        "(CI smoke)")
+                   help="vcycle/chaos commands: small instances / reduced "
+                        "load (CI smoke)")
     p.add_argument("--output", default="EXPERIMENTS.md",
                    help="output path for the experiments command")
     p.add_argument("--export", default=None,
@@ -270,6 +278,36 @@ def main(argv=None) -> int:
             f"hit_rate={doc['hit_rate']:.2f} "
             f"degraded={checks['deadline_degraded']} checks={'OK' if ok else 'FAILED'}"
         )
+        return 0 if ok else 1
+
+    if args.command == "chaos":
+        from repro.bench.chaos import (
+            chaos_checks_ok,
+            run_chaos_bench,
+            write_chaos_bench,
+        )
+
+        doc = run_chaos_bench(
+            n_workers=min(args.workers, 2),
+            n_clients=args.clients,
+            n_distinct=args.requests,
+            quick=args.quick,
+            progress=lambda s: print(f"  {s}", file=sys.stderr),
+        )
+        path = args.output if args.output != "EXPERIMENTS.md" else "BENCH_chaos.json"
+        write_chaos_bench(path, doc)
+        print(f"wrote {path}")
+        ok = chaos_checks_ok(doc)
+        checks = doc["checks"]
+        print(
+            f"availability={doc['availability']:.3f} "
+            f"byte_divergence={doc['byte_divergence']} "
+            f"recovery_s={doc['schedule'][1]['recovery_s']} "
+            f"replays={doc['schedule'][1]['replays']} "
+            f"checks={'OK' if ok else 'FAILED'}"
+        )
+        for err in checks["errors"]:
+            print(f"  ERROR: {err}", file=sys.stderr)
         return 0 if ok else 1
 
     if args.command == "exact":

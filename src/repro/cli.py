@@ -227,6 +227,13 @@ def _parse(argv):
                     help="cap on per-request engine workers")
     pd.add_argument("--trace", default=None, metavar="PATH",
                     help="append one NDJSON trace line per served request")
+    pd.add_argument("--journal", default=None, metavar="PATH",
+                    help="durable request journal: accepted requests are "
+                         "recorded here before compute and replayed on "
+                         "restart after a crash (omit to disable)")
+    pd.add_argument("--drain-timeout", type=float, default=5.0,
+                    metavar="SECONDS",
+                    help="grace period for in-flight requests on shutdown")
     pd.add_argument("--allow-shutdown", action="store_true",
                     help="honour the in-band shutdown op")
     pd.add_argument("--epsilon", type=float, default=0.03,
@@ -423,6 +430,8 @@ def _cmd_serve(args) -> int:
         max_n_starts=args.max_starts,
         max_engine_workers=args.max_engine_workers,
         trace_path=args.trace,
+        journal_path=args.journal,
+        drain_timeout=args.drain_timeout,
         allow_shutdown=args.allow_shutdown,
         config=PartitionerConfig(epsilon=args.epsilon),
     )

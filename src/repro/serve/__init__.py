@@ -17,12 +17,34 @@ content-addressed identity the engine's checkpoint layer uses — so a
 result computed once is recognizable from any client, across daemon
 restarts (disk tier), forever.
 
+The daemon is crash-safe: a durable request journal
+(:class:`~repro.serve.journal.RequestJournal`) records every accepted
+request before compute starts, a warm restart replays what a crash
+interrupted (byte-identically, by fingerprint identity), draining
+refuses new work with a typed ``shutdown-refused`` instead of a reset,
+and :class:`~repro.serve.client.Client` reconnects and resubmits under
+deterministic backoff with per-error-code typed exceptions.
+
 See ``docs/serving.md`` for the wire protocol, cache semantics, the
-deadline/degraded SLO contract and an ops runbook.
+deadline/degraded SLO contract, crash safety and an ops runbook.
 """
 
 from repro.serve.cache import CacheEntry, PartitionCache
-from repro.serve.client import Client, ServeResult
+from repro.serve.client import (
+    ERROR_TYPES,
+    BadRequestError,
+    Client,
+    ClientBusyError,
+    EngineError,
+    OversizedError,
+    QueueFullError,
+    ServeError,
+    ServeResult,
+    ShutdownRefusedError,
+    UnknownFingerprintError,
+    serve_error,
+)
+from repro.serve.journal import RequestJournal
 from repro.serve.protocol import ProtocolError
 from repro.serve.server import PartitionServer, run_server
 from repro.serve.service import PartitionService, ServeConfig
@@ -32,6 +54,17 @@ __all__ = [
     "PartitionCache",
     "Client",
     "ServeResult",
+    "ServeError",
+    "BadRequestError",
+    "UnknownFingerprintError",
+    "QueueFullError",
+    "ClientBusyError",
+    "EngineError",
+    "ShutdownRefusedError",
+    "OversizedError",
+    "ERROR_TYPES",
+    "serve_error",
+    "RequestJournal",
     "ProtocolError",
     "PartitionServer",
     "run_server",

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.telemetry import get_recorder
+from repro.verify.faults import trip as _fault_trip
 
 __all__ = ["CacheEntry", "PartitionCache"]
 
@@ -111,6 +112,9 @@ class PartitionCache:
         promoted to the memory tier; a corrupt disk entry is deleted and
         reported as a miss."""
         rec = get_recorder()
+        # injectable read failure (serve.cache_read): the service treats
+        # the raised error as a miss and recomputes
+        _fault_trip("serve.cache_read")
         with self._lock:
             entry = self._mem.get(fingerprint)
             if entry is not None:
@@ -130,6 +134,9 @@ class PartitionCache:
 
     def put(self, entry: CacheEntry) -> None:
         """Insert *entry* into both tiers (subject to their budgets)."""
+        # injectable write failure (serve.cache_write): the service
+        # absorbs it — a lost insert costs future hits, not the response
+        _fault_trip("serve.cache_write")
         with self._lock:
             self._counts["puts"] += 1
             get_recorder().add("cache.puts")
@@ -157,6 +164,29 @@ class PartitionCache:
                             os.remove(os.path.join(self.disk_dir, name))
                         except OSError:
                             pass
+
+    def sweep_orphans(self) -> int:
+        """Remove ``*.tmp`` orphans a crash left in the disk tier.
+
+        A crash between the tmp write and ``os.replace`` strands a
+        sibling tmp file; the entry under the final name (if any) is
+        still a complete snapshot, so the orphan is pure garbage.
+        Returns the number removed (counted ``cache.tmp_swept``)."""
+        if not self.disk_dir or not os.path.isdir(self.disk_dir):
+            return 0
+        swept = 0
+        with self._lock:
+            for name in os.listdir(self.disk_dir):
+                if not name.endswith(".tmp"):
+                    continue
+                try:
+                    os.remove(os.path.join(self.disk_dir, name))
+                except OSError:
+                    continue
+                swept += 1
+        if swept:
+            get_recorder().add("cache.tmp_swept", swept)
+        return swept
 
     def stats(self) -> dict:
         """Counters plus current occupancy of both tiers."""
@@ -205,10 +235,10 @@ class PartitionCache:
     def _disk_write(self, entry: CacheEntry) -> None:
         if not self.disk_dir:
             return
+        path = self._disk_path(entry.fingerprint)
+        tmp = path + ".tmp"
         try:
             os.makedirs(self.disk_dir, exist_ok=True)
-            path = self._disk_path(entry.fingerprint)
-            tmp = path + ".tmp"
             doc = {
                 "version": DISK_VERSION,
                 "fingerprint": entry.fingerprint,

@@ -1,0 +1,241 @@
+"""Durable request journal: the daemon's crash-safety ledger.
+
+A daemon that dies mid-compute used to lose every accepted request
+silently — the client saw a broken socket and the work evaporated.  The
+journal closes that hole with the same discipline the engine's
+:class:`~repro.partitioner.resilience.CheckpointStore` established:
+fingerprint-keyed NDJSON, appends flushed before compute starts, and
+compaction through the atomic tmp + ``os.replace`` idiom so the file
+under the final name is always a complete, parseable snapshot.
+
+Protocol
+--------
+* ``accept(fingerprint, request)`` is called **before** a request enters
+  the compute path.  It appends one ``{"kind": "accept", ...}`` line
+  carrying the full wire request — everything needed to replay it
+  through the normal service path — and flushes, so the OS holds the
+  bytes even if the process is SIGKILLed the next instant.
+* ``complete(fingerprint)`` is called once the request reached a
+  terminal outcome (result cached, degraded, or a deterministic error —
+  anything that must **not** be replayed).  It appends a
+  ``{"kind": "complete", ...}`` tombstone.
+* On startup, :meth:`open` parses the file: accepts without a matching
+  tombstone are the in-flight requests the dead daemon lost, exposed
+  via :meth:`incomplete` for the service to replay.  Because requests
+  are fingerprint-keyed, a replayed result is byte-identical to what
+  the original request would have returned.
+
+Failure policy mirrors ``checkpoint.write``: a journal write failure
+(injectable at the ``serve.journal_write`` fault site) must never fail
+the request it records — it is absorbed and counted; only the
+replayability of that one request is lost.  A torn trailing line (a
+crash mid-append) and unreadable lines are tolerated on load.  A stale
+``<path>.tmp`` left by a crash mid-compaction is swept on open.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+from repro.telemetry import get_recorder
+from repro.verify.faults import trip as _fault_trip
+
+__all__ = ["RequestJournal", "JOURNAL_VERSION"]
+
+#: on-disk journal format version (an unknown version is loaded
+#: best-effort: unreadable entries are skipped, never fatal)
+JOURNAL_VERSION = 1
+
+#: completed entries tolerated in the file before the next tombstone
+#: triggers a compaction rewrite
+COMPACT_MIN_COMPLETED = 64
+
+
+class RequestJournal:
+    """Append-mostly NDJSON journal of accepted-but-unfinished requests.
+
+    Thread-safe; all failures are absorbed (the journal protects
+    requests, it must never break one).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        #: fingerprint -> wire request, for every open (un-tombstoned) entry
+        self._open: dict[str, dict] = {}
+        self._completed_since_compact = 0
+        self._file = None
+        self.appends = 0
+        self.write_errors = 0
+        self.compactions = 0
+        self.orphan_tmp_swept = 0
+        self.skipped_lines = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, path: str) -> "RequestJournal":
+        """Load *path* (tolerating torn/corrupt lines), sweep a stale
+        ``.tmp`` orphan, and compact the completed entries away."""
+        journal = cls(path)
+        tmp = path + ".tmp"
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        else:
+            journal.orphan_tmp_swept += 1
+            get_recorder().add("journal.tmp_swept")
+        journal._load()
+        if journal._completed_since_compact:
+            with journal._lock:
+                journal._compact_locked()
+        return journal
+
+    def _load(self) -> None:
+        try:
+            with open(self.path) as f:
+                raw = f.read()
+        except OSError:
+            return
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+                kind = rec["kind"]
+                fp = str(rec["fingerprint"])
+            except (ValueError, KeyError, TypeError):
+                # a torn trailing line from a crash mid-append, or noise:
+                # never fatal — the intact entries are what matter
+                self.skipped_lines += 1
+                continue
+            if kind == "accept" and isinstance(rec.get("request"), dict):
+                self._open[fp] = rec["request"]
+            elif kind == "complete":
+                self._open.pop(fp, None)
+                self._completed_since_compact += 1
+
+    # ------------------------------------------------------------------
+    def accept(self, fingerprint: str, request: dict) -> bool:
+        """Record *request* as accepted (idempotent per fingerprint).
+
+        Returns True when the entry is open afterwards — including when
+        it already was (a deduplicated waiter, or a replay of this very
+        entry); False only when the append failed.
+        """
+        with self._lock:
+            if fingerprint in self._open:
+                return True
+            ok = self._append(
+                {
+                    "kind": "accept",
+                    "version": JOURNAL_VERSION,
+                    "fingerprint": fingerprint,
+                    "request": request,
+                }
+            )
+            if ok:
+                self._open[fingerprint] = request
+            return ok
+
+    def complete(self, fingerprint: str) -> None:
+        """Tombstone *fingerprint* (idempotent; append failures only cost
+        one harmless re-replay — the cache answers it)."""
+        with self._lock:
+            if fingerprint not in self._open:
+                return
+            self._append({"kind": "complete", "fingerprint": fingerprint})
+            del self._open[fingerprint]
+            self._completed_since_compact += 1
+            if self._completed_since_compact >= COMPACT_MIN_COMPLETED:
+                self._compact_locked()
+
+    def incomplete(self) -> list[tuple[str, dict]]:
+        """The accepted-but-unfinished requests, in acceptance order."""
+        with self._lock:
+            return [(fp, dict(req)) for fp, req in self._open.items()]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "path": self.path,
+                "open_entries": len(self._open),
+                "appends": self.appends,
+                "write_errors": self.write_errors,
+                "compactions": self.compactions,
+                "orphan_tmp_swept": self.orphan_tmp_swept,
+                "skipped_lines": self.skipped_lines,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                try:
+                    self._file.close()
+                except OSError:
+                    pass
+                self._file = None
+
+    # ------------------------------------------------------------------
+    def _append(self, rec: dict) -> bool:
+        """Append one line and flush; absorbed on failure (counted)."""
+        try:
+            _fault_trip("serve.journal_write")
+            if self._file is None:
+                self._file = open(self.path, "a")
+            self._file.write(json.dumps(rec, sort_keys=True) + "\n")
+            # flush to the OS: the bytes survive a SIGKILL of this
+            # process (fsync would only add power-loss durability)
+            self._file.flush()
+        except (OSError, RuntimeError):
+            self.write_errors += 1
+            get_recorder().add("journal.write_errors")
+            if self._file is not None:
+                try:
+                    self._file.close()
+                except OSError:
+                    pass
+                self._file = None  # reopen on the next append
+            return False
+        self.appends += 1
+        return True
+
+    def _compact_locked(self) -> None:
+        """Rewrite the file with only the open entries (tmp + replace)."""
+        tmp = self.path + ".tmp"
+        try:
+            _fault_trip("serve.journal_write")
+            with open(tmp, "w") as f:
+                for fp, request in self._open.items():
+                    f.write(
+                        json.dumps(
+                            {
+                                "kind": "accept",
+                                "version": JOURNAL_VERSION,
+                                "fingerprint": fp,
+                                "request": request,
+                            },
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+            if self._file is not None:
+                try:
+                    self._file.close()
+                except OSError:
+                    pass
+                self._file = None
+            os.replace(tmp, self.path)
+        except (OSError, RuntimeError):
+            self.write_errors += 1
+            get_recorder().add("journal.write_errors")
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            return
+        self._completed_since_compact = 0
+        self.compactions += 1
+        get_recorder().add("journal.compactions")

@@ -33,6 +33,7 @@ from repro.serve.protocol import (
     error_response,
 )
 from repro.serve.service import PartitionService, ServeConfig
+from repro.verify.faults import trip as _fault_trip
 
 __all__ = ["PartitionServer", "run_server"]
 
@@ -102,6 +103,31 @@ class PartitionServer:
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        try:
+            # injectable accept failure: closes this connection
+            # gracefully, never the daemon
+            _fault_trip("serve.accept")
+        except (OSError, RuntimeError):
+            self.service._count("accept_errors")
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+            return
+        if self.service.state == "draining":
+            # refuse the newcomer with a typed error, not a reset
+            self.service._count("refused_draining")
+            with contextlib.suppress(Exception):
+                writer.write(
+                    encode_msg(
+                        error_response(
+                            None, "shutdown-refused", "daemon is draining"
+                        )
+                    )
+                )
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            return
         task = asyncio.current_task()
         if task is not None:  # so close() can drain live connections
             self._conn_tasks.add(task)
@@ -115,13 +141,22 @@ class PartitionServer:
 
         async def respond(response: dict) -> None:
             async with write_lock:
+                # injectable respond failure: the result is already
+                # cached/journaled, so a client resubmission by
+                # fingerprint is answered without recomputing
+                _fault_trip("serve.respond")
                 writer.write(encode_msg(response))
                 await writer.drain()
 
         async def one_request(obj: dict) -> None:
             client = str(obj.get("client") or default_client)
             response = await self.service.handle(obj, client)
-            await respond(response)
+            try:
+                await respond(response)
+            except (OSError, RuntimeError):
+                self.service._count("respond_errors")
+                with contextlib.suppress(Exception):
+                    writer.close()
 
         try:
             while True:
@@ -140,7 +175,11 @@ class PartitionServer:
                 try:
                     obj = decode_msg(line)
                 except ProtocolError as exc:
-                    await respond(error_response(None, exc.code, str(exc)))
+                    try:
+                        await respond(error_response(None, exc.code, str(exc)))
+                    except (OSError, RuntimeError):
+                        self.service._count("respond_errors")
+                        break
                     continue
                 # pipelining: requests run concurrently, answered as done
                 task = asyncio.ensure_future(one_request(obj))
@@ -162,6 +201,10 @@ async def _serve_until_stopped(server: PartitionServer, banner) -> None:
     await server.start()
     if banner is not None:
         print(server.ready_line(), file=banner, flush=True)
+    # warm restart runs behind the already-bound listeners: the daemon
+    # accepts while replaying (new requests share fair admission with
+    # the replays and are answered normally)
+    startup_task = asyncio.ensure_future(server.service.startup())
     loop = asyncio.get_running_loop()
     stop = server.service.shutdown_event
     # signal handlers need the main thread; tests run the loop elsewhere
@@ -174,6 +217,12 @@ async def _serve_until_stopped(server: PartitionServer, banner) -> None:
         for signum in (signal.SIGINT, signal.SIGTERM):
             with contextlib.suppress(NotImplementedError, ValueError, RuntimeError):
                 loop.remove_signal_handler(signum)
+        startup_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError, Exception):
+            await startup_task
+        # graceful drain: listeners stay open so in-flight requests
+        # finish and latecomers get shutdown-refused, not a reset
+        await server.service.drain()
         await server.close()
 
 

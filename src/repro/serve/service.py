@@ -42,7 +42,25 @@ telemetry
     :func:`~repro.telemetry.scoped_recorder` (the reentrancy refactor
     this daemon forced), so concurrent requests build disjoint traces;
     per-request timings are returned in-band and appended as NDJSON to
-    ``trace_path`` when configured.
+    ``trace_path`` when configured.  The trace file handle is held open
+    and flushed per line, and :meth:`PartitionService.close` appends a
+    final ``{"type": "shutdown"}`` line before closing it — a SIGTERM
+    arriving mid-request still yields a complete, parseable trace.
+crash safety
+    With ``journal_path`` configured, every cacheable request that
+    misses the cache is appended to the durable
+    :class:`~repro.serve.journal.RequestJournal` *before* compute starts
+    and tombstoned once it reaches a terminal outcome (result cached, or
+    a deterministic error the client was told about).  On startup
+    :meth:`PartitionService.startup` sweeps orphaned cache/journal tmp
+    files and replays the incomplete entries through this very
+    ``handle()`` path — because requests are fingerprint-keyed, the
+    replayed result is byte-identical to what the dead daemon would have
+    returned.  The service's lifecycle is exposed as a readiness state
+    (``starting → replaying → ready → draining``) through ``stats`` and
+    the in-band ``health`` op; while draining, new ``decompose``
+    requests are refused with ``shutdown-refused`` instead of a reset
+    connection.
 """
 
 from __future__ import annotations
@@ -61,6 +79,7 @@ import numpy as np
 from repro.partitioner.config import PartitionerConfig
 from repro.partitioner.pool import WorkerBudget
 from repro.serve.cache import CacheEntry, PartitionCache
+from repro.serve.journal import RequestJournal
 from repro.serve.protocol import (
     ProtocolError,
     error_response,
@@ -72,6 +91,7 @@ from repro.serve.protocol import (
 )
 from repro.telemetry import TelemetryRecorder, scoped_recorder
 from repro.telemetry.export import trace_to_dict
+from repro.verify.faults import trip as _fault_trip
 
 __all__ = ["ServeConfig", "FairAdmission", "PartitionService"]
 
@@ -105,6 +125,10 @@ class ServeConfig:
     max_engine_workers: int = 4
     #: NDJSON file receiving one line per served request
     trace_path: str | None = None
+    #: durable request journal (``None`` disables crash recovery)
+    journal_path: str | None = None
+    #: grace period for in-flight requests when draining (seconds)
+    drain_timeout: float = 5.0
     #: honour the in-band ``shutdown`` op
     allow_shutdown: bool = False
     #: base partitioner configuration requests override
@@ -235,14 +259,102 @@ class PartitionService:
         self._latencies_ms: deque[float] = deque(maxlen=4096)
         self._t0 = time.monotonic()
         self._trace_lock = threading.Lock()
+        self._trace_file = None
         self.shutdown_event = asyncio.Event()
+        #: readiness: "starting" -> "replaying" -> "ready" -> "draining"
+        self.state = "starting"
+        #: handle() calls currently executing (drain waits for zero)
+        self._active = 0
+        self.journal = (
+            RequestJournal.open(self.cfg.journal_path)
+            if self.cfg.journal_path
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def startup(self) -> dict:
+        """Warm restart: sweep crash debris, replay the journal.
+
+        Sweeps orphaned ``*.tmp`` files out of the disk cache tier (the
+        journal sweeps its own on :meth:`RequestJournal.open`), then
+        replays every accepted-but-unfinished journal entry through the
+        normal :meth:`handle` path.  The state is ``replaying`` for the
+        duration and ``ready`` after; new requests arriving mid-replay
+        are served normally (they share fair admission with the
+        replays).
+        """
+        swept = self.cache.sweep_orphans()
+        replayed = 0
+        if self.journal is not None and self.journal.incomplete():
+            self.state = "replaying"
+            replayed = await self.replay_incomplete()
+        self.state = "ready"
+        return {"cache_tmp_swept": swept, "replayed": replayed}
+
+    async def replay_incomplete(self) -> int:
+        """Re-run every open journal entry through the service path.
+
+        A replayed request that reaches a terminal outcome — including a
+        deterministic error response — is tombstoned so it cannot replay
+        forever; only another crash mid-replay leaves it open.
+        """
+        if self.journal is None:
+            return 0
+        replayed = 0
+        for fp, request in self.journal.incomplete():
+            self._count("replays")
+            resp = await self.handle(dict(request), client="__replay__")
+            if not resp.get("ok", False):
+                self._count("replay_errors")
+            # the in-path tombstone is keyed by the *recomputed*
+            # fingerprint; close the journaled key too so an entry whose
+            # fingerprint cannot be recomputed (e.g. a matrix path
+            # deleted since) does not replay forever
+            self.journal.complete(fp)
+            replayed += 1
+        return replayed
+
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Refuse new work and wait for in-flight requests to finish.
+
+        Returns True when the service went idle inside the grace
+        period, False when the timeout expired with requests still
+        running (the caller shuts down regardless)."""
+        self.state = "draining"
+        if timeout is None:
+            timeout = self.cfg.drain_timeout
+        deadline = time.monotonic() + max(0.0, timeout)
+        while self._active > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        return self._active == 0
+
+    def close(self) -> None:
+        """Release the compute pool, seal the trace, close the journal
+        (idempotent)."""
+        self._executor.shutdown(wait=True, cancel_futures=True)
+        self._write_trace(
+            {
+                "type": "shutdown",
+                "state": self.state,
+                "uptime_s": round(time.monotonic() - self._t0, 3),
+                "counters": dict(self._counters),
+            }
+        )
+        with self._trace_lock:
+            if self._trace_file is not None:
+                try:
+                    self._trace_file.close()
+                except OSError:
+                    pass
+                self._trace_file = None
+        if self.journal is not None:
+            self.journal.close()
 
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
-    def close(self) -> None:
-        """Release the compute pool (idempotent)."""
-        self._executor.shutdown(wait=True, cancel_futures=True)
 
     def _count(self, name: str, value: int = 1) -> None:
         self._counters[name] = self._counters.get(name, 0) + value
@@ -257,10 +369,23 @@ class PartitionService:
             return
         data = json.dumps(line, default=str) + "\n"
         try:
-            with self._trace_lock, open(self.cfg.trace_path, "a") as f:
-                f.write(data)
+            # one persistent handle, flushed per line: a SIGTERM (or
+            # SIGKILL) mid-request never loses already-served lines
+            with self._trace_lock:
+                if self._trace_file is None:
+                    self._trace_file = open(self.cfg.trace_path, "a")
+                self._trace_file.write(data)
+                self._trace_file.flush()
         except OSError:
             pass  # tracing must never fail a request
+
+    def _journal_accept(self, fp: str, request: dict) -> None:
+        if self.journal is not None:
+            self.journal.accept(fp, request)
+
+    def _journal_complete(self, fp: str) -> None:
+        if self.journal is not None:
+            self.journal.complete(fp)
 
     def stats(self) -> dict:
         """Service counters, queue state, latency percentiles, cache."""
@@ -276,6 +401,7 @@ class PartitionService:
         )
         lookups = hits + self._counters.get("cache_misses", 0)
         return {
+            "state": self.state,
             "uptime_s": time.monotonic() - self._t0,
             "workers": self.cfg.n_workers,
             "queue_depth": self.admission.queued,
@@ -290,6 +416,7 @@ class PartitionService:
                 "max": lat[-1] if lat else 0.0,
             },
             "cache": self.cache.stats(),
+            "journal": self.journal.stats() if self.journal else None,
         }
 
     # ------------------------------------------------------------------
@@ -299,9 +426,18 @@ class PartitionService:
         """Serve one decoded request; always returns a response dict."""
         op = obj.get("op")
         req_id = obj.get("id")
+        self._active += 1
         try:
             if op == "ping":
                 return ok_response(req_id, pong=True)
+            if op == "health":
+                return ok_response(
+                    req_id,
+                    state=self.state,
+                    uptime_s=round(time.monotonic() - self._t0, 3),
+                    inflight=len(self._inflight),
+                    queue_depth=self.admission.queued,
+                )
             if op == "stats":
                 return ok_response(req_id, stats=self.stats())
             if op == "shutdown":
@@ -313,6 +449,12 @@ class PartitionService:
                 self.shutdown_event.set()
                 return ok_response(req_id, stopping=True)
             if op == "decompose":
+                if self.state == "draining":
+                    # a typed refusal the client can retry elsewhere,
+                    # not a reset connection
+                    raise ProtocolError(
+                        "shutdown-refused", "daemon is draining"
+                    )
                 return await self._decompose(obj, req_id, client)
             raise ProtocolError("bad-request", f"unknown op {op!r}")
         except ProtocolError as exc:
@@ -325,6 +467,8 @@ class PartitionService:
             return error_response(
                 req_id, "engine-error", f"{type(exc).__name__}: {exc}"
             )
+        finally:
+            self._active -= 1
 
     # ------------------------------------------------------------------
     # the decompose path
@@ -369,13 +513,22 @@ class PartitionService:
         # ---- cache probe (a hit never touches the engine) -------------
         tc = time.monotonic()
         with scoped_recorder(rec), rec.span("serve.cache_probe"):
-            hit = self.cache.get(fp) if cacheable else None
+            try:
+                hit = self.cache.get(fp) if cacheable else None
+            except (OSError, RuntimeError):
+                # a failing cache read (serve.cache_read) is a miss:
+                # the engine recomputes, the client never notices
+                self._count("cache_read_errors")
+                hit = None
         timings["cache_probe_ms"] = (time.monotonic() - tc) * 1e3
         if not cacheable:
             self._count("uncacheable")
         if hit is not None:
             entry, tier = hit
             self._count(f"hits_{tier}")
+            # a replayed request whose result was cached before the
+            # crash (but not tombstoned) terminates here
+            self._journal_complete(fp)
             result = dict(entry.meta)
             if want_part:
                 result.update(part_to_b64(entry.part))
@@ -390,6 +543,10 @@ class PartitionService:
                 "unknown-fingerprint",
                 "fingerprint not in cache and carries no instance to compute",
             )
+
+        # ---- durable journal: accepted before compute starts ----------
+        if cacheable:
+            self._journal_accept(fp, obj)
 
         # ---- in-flight dedup: one computation, N waiters --------------
         owner_fut = self._inflight.get(fp) if cacheable else None
@@ -427,6 +584,10 @@ class PartitionService:
             # ---- compute on a worker thread, scoped telemetry ---------
             def work():
                 with scoped_recorder(rec), rec.span("serve.compute"):
+                    # injectable compute failure / stall: a crash here
+                    # becomes an engine-error response, a sleep is the
+                    # window the crash-recovery tests SIGKILL us in
+                    _fault_trip("serve.compute")
                     return decompose(
                         a,
                         fields["k"],
@@ -453,16 +614,31 @@ class PartitionService:
                 self._count("fingerprint_mismatch")
                 cacheable = False
             if cacheable and not res.degraded:
-                self.cache.put(
-                    CacheEntry(
-                        fingerprint=fp,
-                        part=np.ascontiguousarray(res.part, dtype=np.int64),
-                        meta=result_doc(res, with_part=False),
+                try:
+                    self.cache.put(
+                        CacheEntry(
+                            fingerprint=fp,
+                            part=np.ascontiguousarray(res.part, dtype=np.int64),
+                            meta=result_doc(res, with_part=False),
+                        )
                     )
-                )
+                except (OSError, RuntimeError):
+                    # a failing cache write (serve.cache_write) costs
+                    # future hits, never this response
+                    self._count("cache_write_errors")
+            # terminal outcome reached: the client gets this response,
+            # so the journal entry must not replay
+            if cacheable:
+                self._journal_complete(fp)
             if fut is not None:
                 fut.set_result(full)
         except BaseException as exc:
+            if isinstance(exc, Exception):
+                # a deterministic error was (or is about to be) reported
+                # to the client — replaying it forever helps nobody.  A
+                # cancellation (daemon killed mid-compute) is NOT an
+                # Exception: that entry stays open and replays.
+                self._journal_complete(fp)
             if fut is not None and not fut.done():
                 fut.set_exception(exc)
                 fut.exception()  # mark retrieved; waiters still re-raise

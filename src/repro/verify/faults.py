@@ -52,6 +52,32 @@ A plan is a comma-separated list of ``site:action[@hit]`` specs::
     atomic ``os.replace`` — a failed checkpoint write must never fail the
     partitioning run that produced it (absorbed and counted as
     ``checkpoint.write_errors``).
+``serve.accept``
+    :meth:`repro.serve.server.PartitionServer._serve_connection`, as a
+    new connection is accepted — a failed accept closes that connection
+    gracefully (counted ``accept_errors``), never the daemon.
+``serve.journal_write``
+    :meth:`repro.serve.journal.RequestJournal` appends, before the line
+    is written — a failed journal write must never fail the request it
+    records (absorbed and counted ``journal_write_errors``; only
+    replayability of that request is lost).
+``serve.cache_read``
+    :meth:`repro.serve.cache.PartitionCache.get` — a failed cache read
+    is a miss (counted ``cache_read_errors``): the service recomputes.
+``serve.cache_write``
+    :meth:`repro.serve.cache.PartitionCache.put` — a failed cache write
+    costs future hits, never the response (counted
+    ``cache_write_errors``).
+``serve.compute``
+    The service's engine call on a worker thread — a crash here is an
+    ``engine-error`` response to that request (and its deduplicated
+    waiters), not a daemon death; ``sleep`` holds a request in compute,
+    the window the crash-recovery tests SIGKILL the daemon in.
+``serve.respond``
+    :meth:`repro.serve.server.PartitionServer` response writes — a
+    failed write closes the connection (counted ``respond_errors``);
+    the result is already cached/journaled, so a client resubmission by
+    fingerprint is answered without recomputing.
 
 *Actions*: ``crash`` raises :class:`FaultInjected` (a ``RuntimeError``,
 so the existing degradation handlers catch it), ``oserror`` raises
@@ -106,6 +132,12 @@ KNOWN_SITES = frozenset(
         "tree.task",
         "worker.heartbeat",
         "checkpoint.write",
+        "serve.accept",
+        "serve.journal_write",
+        "serve.cache_read",
+        "serve.cache_write",
+        "serve.compute",
+        "serve.respond",
     }
 )
 

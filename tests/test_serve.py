@@ -236,9 +236,10 @@ class TestServiceCaching:
         )
         assert stats["counters"]["hits_memory"] == 1
         assert stats["counters"]["computed"] == 1
-        # the cache hit never touched the engine: no compute span
+        # the cache hit never touched the engine: no compute span; the
+        # trace ends with the shutdown trailer close() seals it with
         lines = [json.loads(s) for s in trace.read_text().splitlines()]
-        assert len(lines) == 2
+        assert [ln["type"] for ln in lines] == ["request", "request", "shutdown"]
         assert "serve.compute" in lines[0]["telemetry"]["phases"]
         assert "serve.compute" not in lines[1]["telemetry"]["phases"]
 

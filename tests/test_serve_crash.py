@@ -1,0 +1,597 @@
+"""Crash safety of the serving layer: journal, warm restart, draining,
+serve-layer fault sites, and the resilient client.
+
+The contract under test extends PR 5's invariant across process death:
+a daemon SIGKILLed mid-compute loses nothing — the durable request
+journal replays the interrupted request on restart and the served result
+is byte-identical to an uninterrupted run — and every ``serve.*``
+degradation path actually runs (deterministically, via
+:mod:`repro.verify.faults`) without failing the request it degrades.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.serve.client import (
+    ERROR_TYPES,
+    BadRequestError,
+    Client,
+    ClientBusyError,
+    EngineError,
+    OversizedError,
+    QueueFullError,
+    ServeError,
+    ShutdownRefusedError,
+    UnknownFingerprintError,
+    serve_error,
+)
+from repro.serve.journal import RequestJournal
+from repro.serve.protocol import encode_msg, inline_matrix
+from repro.serve.service import PartitionService, ServeConfig
+from repro.verify import faults
+from repro.verify.faults import inject
+
+
+@pytest.fixture(autouse=True)
+def _isolate_faults(monkeypatch):
+    """No plan leaks between tests, in either direction."""
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+@pytest.fixture
+def a():
+    return sp.random(60, 60, density=0.08, format="csr", random_state=0)
+
+
+def service_cfg(tmp_path, **kw) -> ServeConfig:
+    kw.setdefault("port", None)
+    kw.setdefault("cache_dir", str(tmp_path / "cache"))
+    kw.setdefault("journal_path", str(tmp_path / "journal.ndjson"))
+    return ServeConfig(**kw)
+
+
+def req(a, seed=0, k=4, **kw) -> dict:
+    return {
+        "op": "decompose",
+        "matrix": {"inline": inline_matrix(a)},
+        "k": k,
+        "seed": seed,
+        **kw,
+    }
+
+
+def run_service(coro_fn, cfg: ServeConfig):
+    service = PartitionService(cfg)
+    try:
+        return asyncio.run(coro_fn(service))
+    finally:
+        service.close()
+
+
+# ----------------------------------------------------------------------
+# the durable request journal
+# ----------------------------------------------------------------------
+class TestRequestJournal:
+    def test_accept_complete_round_trip_across_reopen(self, tmp_path):
+        path = str(tmp_path / "j.ndjson")
+        j = RequestJournal.open(path)
+        assert j.accept("fp-a", {"op": "decompose", "k": 2})
+        assert j.accept("fp-b", {"op": "decompose", "k": 4})
+        j.complete("fp-a")
+        j.close()
+        j2 = RequestJournal.open(path)
+        assert j2.incomplete() == [("fp-b", {"op": "decompose", "k": 4})]
+
+    def test_accept_is_idempotent_per_fingerprint(self, tmp_path):
+        j = RequestJournal.open(str(tmp_path / "j.ndjson"))
+        assert j.accept("fp", {"k": 2})
+        appends = j.appends
+        assert j.accept("fp", {"k": 2})  # a dedup waiter: no new line
+        assert j.appends == appends
+        j.complete("fp")
+        j.complete("fp")  # idempotent too
+        assert j.incomplete() == []
+
+    def test_torn_trailing_line_is_tolerated(self, tmp_path):
+        path = str(tmp_path / "j.ndjson")
+        j = RequestJournal.open(path)
+        j.accept("fp-ok", {"k": 2})
+        j.close()
+        with open(path, "a") as f:
+            f.write('{"kind": "accept", "fingerpr')  # crash mid-append
+        j2 = RequestJournal.open(path)
+        assert j2.skipped_lines == 1
+        assert [fp for fp, _ in j2.incomplete()] == ["fp-ok"]
+
+    def test_open_compacts_completed_entries_away(self, tmp_path):
+        path = str(tmp_path / "j.ndjson")
+        j = RequestJournal.open(path)
+        for i in range(5):
+            j.accept(f"fp{i}", {"k": i})
+            j.complete(f"fp{i}")
+        j.accept("fp-open", {"k": 9})
+        j.close()
+        assert len(open(path).read().splitlines()) == 11
+        j2 = RequestJournal.open(path)
+        assert j2.compactions == 1
+        lines = open(path).read().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["fingerprint"] == "fp-open"
+
+    def test_stale_tmp_is_swept_on_open(self, tmp_path):
+        path = str(tmp_path / "j.ndjson")
+        with open(path + ".tmp", "w") as f:
+            f.write("half-written compaction\n")
+        j = RequestJournal.open(path)
+        assert j.orphan_tmp_swept == 1
+        assert not os.path.exists(path + ".tmp")
+
+    def test_write_failure_is_absorbed_and_counted(self, tmp_path):
+        j = RequestJournal.open(str(tmp_path / "j.ndjson"))
+        with inject("serve.journal_write:oserror"):
+            assert not j.accept("fp", {"k": 2})
+        assert j.write_errors == 1
+        # the journal recovers: the next append works
+        assert j.accept("fp", {"k": 2})
+        assert [fp for fp, _ in j.incomplete()] == ["fp"]
+
+
+# ----------------------------------------------------------------------
+# serve-layer fault sites: every degradation path runs, requests survive
+# ----------------------------------------------------------------------
+class TestServeFaultSites:
+    def test_cache_read_failure_is_a_miss(self, tmp_path, a):
+        cfg = service_cfg(tmp_path)
+
+        async def scenario(svc):
+            with inject("serve.cache_read:oserror"):
+                return await svc.handle(req(a, seed=0), "c"), svc.stats()
+
+        resp, stats = run_service(scenario, cfg)
+        assert resp["ok"]
+        assert resp["served"]["cache"] == "computed"
+        assert stats["counters"]["cache_read_errors"] == 1
+
+    def test_cache_write_failure_never_fails_the_response(self, tmp_path, a):
+        cfg = service_cfg(tmp_path)
+
+        async def scenario(svc):
+            with inject("serve.cache_write:oserror"):
+                r1 = await svc.handle(req(a, seed=0), "c")
+            r2 = await svc.handle(req(a, seed=0), "c")
+            return r1, r2, svc.stats()
+
+        r1, r2, stats = run_service(scenario, cfg)
+        assert r1["ok"] and r2["ok"]
+        assert stats["counters"]["cache_write_errors"] == 1
+        # the insert was lost, so the repeat recomputed — byte-identically
+        assert r2["served"]["cache"] == "computed"
+        assert r1["result"] == r2["result"]
+
+    def test_compute_crash_is_an_engine_error_not_a_daemon_death(
+        self, tmp_path, a
+    ):
+        cfg = service_cfg(tmp_path)
+
+        async def scenario(svc):
+            with inject("serve.compute:crash"):
+                r1 = await svc.handle(req(a, seed=0), "c")
+            r2 = await svc.handle(req(a, seed=0), "c")
+            return r1, r2, svc.journal.incomplete()
+
+        r1, r2, incomplete = run_service(scenario, cfg)
+        assert not r1["ok"]
+        assert r1["error"]["code"] == "engine-error"
+        # the service survived and the journal did not retain the
+        # deterministic failure for replay
+        assert r2["ok"]
+        assert incomplete == []
+
+    def test_journal_write_failure_never_fails_the_request(self, tmp_path, a):
+        cfg = service_cfg(tmp_path)
+
+        async def scenario(svc):
+            with inject("serve.journal_write:oserror"):
+                resp = await svc.handle(req(a, seed=0), "c")
+            return resp, svc.stats()
+
+        resp, stats = run_service(scenario, cfg)
+        assert resp["ok"]
+        assert stats["journal"]["write_errors"] >= 1
+
+
+# ----------------------------------------------------------------------
+# typed client errors: the full code -> exception -> retryable mapping
+# ----------------------------------------------------------------------
+class TestTypedClientErrors:
+    EXPECTED = {
+        "bad-request": (BadRequestError, False),
+        "unknown-fingerprint": (UnknownFingerprintError, False),
+        "queue-full": (QueueFullError, True),
+        "client-busy": (ClientBusyError, True),
+        "engine-error": (EngineError, False),
+        "shutdown-refused": (ShutdownRefusedError, True),
+        "oversized": (OversizedError, False),
+    }
+
+    def test_every_protocol_code_has_a_dedicated_class(self):
+        assert set(ERROR_TYPES) == set(self.EXPECTED)
+        for code, (cls, retryable) in self.EXPECTED.items():
+            exc = serve_error(code, "boom")
+            assert type(exc) is cls
+            assert isinstance(exc, ServeError)  # except ServeError works
+            assert exc.code == code
+            assert exc.retryable is retryable
+            assert "boom" in str(exc)
+
+    def test_unknown_code_falls_back_to_base_not_retryable(self):
+        exc = serve_error("some-future-code", "??")
+        assert type(exc) is ServeError
+        assert exc.code == "some-future-code"
+        assert exc.retryable is False
+
+
+# ----------------------------------------------------------------------
+# client resilience: backoff, retry on retryable codes, reconnect
+# ----------------------------------------------------------------------
+class _ScriptedServer:
+    """A UNIX-socket server answering each request line from a script."""
+
+    def __init__(self, sock_path: str, responses: list) -> None:
+        self.path = sock_path
+        self.responses = list(responses)
+        self.requests: list = []
+        self._srv = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._srv.bind(sock_path)
+        self._srv.listen(4)
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while self.responses:
+            try:
+                conn, _ = self._srv.accept()
+            except OSError:
+                return
+            with conn:
+                f = conn.makefile("rb")
+                while self.responses:
+                    line = f.readline()
+                    if not line:
+                        break
+                    self.requests.append(json.loads(line))
+                    action = self.responses.pop(0)
+                    if action == "hangup":
+                        break  # close without answering
+                    conn.sendall(encode_msg(action))
+
+    def close(self) -> None:
+        try:
+            self._srv.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=5)
+
+
+class TestClientResilience:
+    def test_backoff_is_deterministic_jittered_and_capped(self):
+        c = Client("x", client_id="me", backoff_base=0.1, backoff_cap=0.4)
+        delays = [c._backoff(i) for i in range(1, 8)]
+        assert delays == [Client("x", client_id="me", backoff_base=0.1,
+                                 backoff_cap=0.4)._backoff(i)
+                          for i in range(1, 8)]
+        assert all(0.05 <= d <= 0.4 for d in delays)
+        # different identity, different jitter
+        other = Client("x", client_id="you", backoff_base=0.1,
+                       backoff_cap=0.4)
+        assert any(abs(other._backoff(i) - delays[i - 1]) > 1e-9
+                   for i in range(1, 8))
+
+    def test_retryable_error_is_retried_terminal_is_not(self, tmp_path):
+        sock = str(tmp_path / "s.sock")
+        srv = _ScriptedServer(sock, [
+            {"ok": False, "id": 1,
+             "error": {"code": "queue-full", "message": "later"}},
+            {"ok": True, "id": 2, "pong": True},
+            {"ok": False, "id": 3,
+             "error": {"code": "bad-request", "message": "no"}},
+        ])
+        try:
+            with Client(sock, max_retries=3, backoff_base=0.01,
+                        backoff_cap=0.02) as c:
+                assert c.ping()  # queue-full absorbed by one retry
+                assert c.retries == 1
+                with pytest.raises(BadRequestError):
+                    c.request({"op": "decompose"})
+        finally:
+            srv.close()
+
+    def test_connection_loss_reconnects_and_resubmits(self, tmp_path):
+        sock = str(tmp_path / "s.sock")
+        srv = _ScriptedServer(sock, [
+            "hangup",
+            {"ok": True, "id": 2, "pong": True},
+        ])
+        try:
+            with Client(sock, max_retries=3, backoff_base=0.01,
+                        backoff_cap=0.02) as c:
+                assert c.ping()
+                assert c.reconnects == 1
+            assert len(srv.requests) == 2  # idempotent resubmission
+        finally:
+            srv.close()
+
+    def test_zero_retries_restores_fail_fast(self, tmp_path):
+        sock = str(tmp_path / "s.sock")
+        srv = _ScriptedServer(sock, ["hangup"])
+        try:
+            with Client(sock) as c:
+                with pytest.raises(ConnectionError):
+                    c.ping()
+        finally:
+            srv.close()
+
+
+# ----------------------------------------------------------------------
+# warm restart: readiness states, replay, draining refusal
+# ----------------------------------------------------------------------
+class TestWarmRestart:
+    def test_startup_replays_incomplete_entries_byte_identically(
+        self, tmp_path, a
+    ):
+        cfg = service_cfg(tmp_path)
+
+        # run 1: the uninterrupted reference result
+        async def reference(svc):
+            return await svc.handle(req(a, seed=0), "c")
+
+        ref = run_service(reference, service_cfg(tmp_path / "ref"))
+
+        # simulate a SIGKILL mid-compute: the journal holds the accept,
+        # the cache never saw the result
+        j = RequestJournal.open(cfg.journal_path)
+        j.accept("whatever-fp", req(a, seed=0))
+        j.close()
+
+        async def restarted(svc):
+            assert svc.state == "starting"
+            report = await svc.startup()
+            assert svc.state == "ready"
+            # the replayed request is now answered from the cache
+            r = await svc.handle(req(a, seed=0), "c")
+            return report, r, svc.journal.incomplete(), svc.stats()
+
+        report, r, incomplete, stats = run_service(restarted, cfg)
+        assert report["replayed"] == 1
+        assert stats["counters"]["replays"] == 1
+        assert r["served"]["cache"].startswith("hit-")
+        assert incomplete == []
+        assert json.dumps(r["result"], sort_keys=True) == json.dumps(
+            ref["result"], sort_keys=True
+        )
+
+    def test_startup_sweeps_cache_orphan_tmp_files(self, tmp_path, a):
+        cfg = service_cfg(tmp_path)
+        os.makedirs(cfg.cache_dir, exist_ok=True)
+        orphan = os.path.join(cfg.cache_dir, "deadbeef.npz.tmp")
+        with open(orphan, "w") as f:
+            f.write("half-written cache entry")
+
+        async def scenario(svc):
+            return await svc.startup()
+
+        report = run_service(scenario, cfg)
+        assert report["cache_tmp_swept"] == 1
+        assert not os.path.exists(orphan)
+
+    def test_replay_of_an_unservable_entry_is_tombstoned(self, tmp_path):
+        cfg = service_cfg(tmp_path)
+        j = RequestJournal.open(cfg.journal_path)
+        j.accept("gone-fp", {
+            "op": "decompose", "k": 2, "seed": 0,
+            "matrix": {"path": str(tmp_path / "deleted-since.mtx")},
+        })
+        j.close()
+
+        async def scenario(svc):
+            await svc.startup()
+            return svc.journal.incomplete(), svc.stats()
+
+        incomplete, stats = run_service(scenario, cfg)
+        assert incomplete == []  # not retained for an infinite replay loop
+        assert stats["counters"]["replay_errors"] == 1
+
+    def test_health_op_reports_readiness_state(self, tmp_path):
+        cfg = service_cfg(tmp_path)
+
+        async def scenario(svc):
+            before = await svc.handle({"op": "health", "id": 1}, "c")
+            await svc.startup()
+            after = await svc.handle({"op": "health", "id": 2}, "c")
+            return before, after
+
+        before, after = run_service(scenario, cfg)
+        assert before["ok"] and before["state"] == "starting"
+        assert after["ok"] and after["state"] == "ready"
+
+    def test_draining_refuses_decompose_with_typed_error(self, tmp_path, a):
+        cfg = service_cfg(tmp_path)
+
+        async def scenario(svc):
+            await svc.startup()
+            drained = await svc.drain(timeout=0.1)
+            refused = await svc.handle(req(a, seed=0), "c")
+            still_pings = await svc.handle({"op": "ping"}, "c")
+            return drained, refused, still_pings
+
+        drained, refused, still_pings = run_service(scenario, cfg)
+        assert drained
+        assert not refused["ok"]
+        assert refused["error"]["code"] == "shutdown-refused"
+        assert still_pings["ok"]  # health/ping stay available while draining
+
+
+# ----------------------------------------------------------------------
+# the real thing: SIGKILL a live daemon mid-compute, restart, compare
+# ----------------------------------------------------------------------
+def _spawn_daemon(state_dir: str, sock: str, faults_spec: str | None = None,
+                  trace: str | None = None) -> subprocess.Popen:
+    env = dict(os.environ)
+    env.pop("REPRO_FAULTS", None)
+    if faults_spec:
+        env["REPRO_FAULTS"] = faults_spec
+    argv = [
+        sys.executable, "-m", "repro", "serve",
+        "--unix", sock, "--workers", "1",
+        "--cache-dir", os.path.join(state_dir, "cache"),
+        "--journal", os.path.join(state_dir, "journal.ndjson"),
+        "--allow-shutdown", "--drain-timeout", "10",
+    ]
+    if trace:
+        argv += ["--trace", trace]
+    proc = subprocess.Popen(
+        argv, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True, env=env,
+    )
+    ready = proc.stdout.readline()
+    assert "listening" in ready, f"daemon failed to start: {ready!r}"
+    return proc
+
+
+def _shm_set() -> set:
+    return set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else set()
+
+
+def _tmp_files(root: str) -> list:
+    found = []
+    for dirpath, _, names in os.walk(root):
+        found.extend(
+            os.path.join(dirpath, n) for n in names if n.endswith(".tmp")
+        )
+    return sorted(found)
+
+
+class TestSigkillRecovery:
+    def test_sigkill_mid_compute_replays_byte_identically(self, tmp_path, a):
+        import repro
+        from repro.fingerprint import fingerprint
+        from repro.partitioner.config import PartitionerConfig
+
+        state = str(tmp_path)
+        sock = os.path.join(state, "repro.sock")
+        journal = os.path.join(state, "journal.ndjson")
+        shm_before = _shm_set()
+
+        # the uninterrupted reference (the daemon's exact config)
+        cfg_used = PartitionerConfig(epsilon=0.03).with_(
+            n_starts=1, n_workers=1
+        )
+        golden = repro.decompose(
+            a, 4, method="finegrain", config=cfg_used, seed=5
+        )
+        fp = fingerprint(a, cfg_used, 5, k=4, method="finegrain")
+
+        # daemon 1: the first compute is held open by an injected sleep
+        proc = _spawn_daemon(state, sock,
+                             faults_spec="serve.compute:sleep2.5@1")
+        got: dict = {}
+
+        def rider():
+            # this client must ride through the SIGKILL + restart
+            with Client(sock, timeout=60.0, max_retries=80,
+                        backoff_base=0.05, backoff_cap=0.3) as c:
+                r = c.decompose(a, k=4, seed=5)
+                got["part"] = r.part
+                got["served"] = r.served
+                got["reconnects"] = c.reconnects
+
+        t = threading.Thread(target=rider)
+        t.start()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            try:
+                with open(journal) as f:
+                    if fp in f.read():
+                        break
+            except OSError:
+                pass
+            time.sleep(0.02)
+        else:
+            pytest.fail("journal never recorded the accept")
+        time.sleep(0.2)  # the request is now held inside serve.compute
+        proc.kill()  # SIGKILL: no drain, no tombstone, no cleanup
+        proc.wait()
+        proc.stdout.close()
+
+        # daemon 2: same state dir, no faults — must replay
+        proc = _spawn_daemon(state, sock)
+        t.join(timeout=120)
+        assert not t.is_alive()
+        assert "part" in got, "client never recovered a result"
+        assert got["reconnects"] >= 1
+        assert np.array_equal(got["part"], golden.part)
+
+        # a fresh request is served from cache, byte-identical, and the
+        # daemon acknowledges the replay
+        with Client(sock, max_retries=5) as c:
+            r = c.decompose(a, k=4, seed=5)
+            assert np.array_equal(r.part, golden.part)
+            assert r.served["cache"].startswith(("hit-", "deduped"))
+            stats = c.stats()
+            assert stats["counters"].get("replays", 0) >= 1
+            assert c.shutdown()
+        proc.wait(timeout=30)
+        proc.stdout.close()
+        assert proc.returncode == 0
+
+        # nothing leaked: shm segments, journal/cache tmp files
+        assert _shm_set() - shm_before == set()
+        assert _tmp_files(state) == []
+
+    def test_sigterm_mid_request_seals_the_trace(self, tmp_path, a):
+        state = str(tmp_path)
+        sock = os.path.join(state, "repro.sock")
+        trace = os.path.join(state, "trace.ndjson")
+        proc = _spawn_daemon(state, sock,
+                             faults_spec="serve.compute:sleep1.5@2",
+                             trace=trace)
+        with Client(sock, timeout=30.0) as c:
+            r = c.decompose(a, k=4, seed=1)
+            assert r.part is not None
+
+        def slow_request():
+            try:
+                with Client(sock, timeout=30.0) as c2:
+                    c2.decompose(a, k=4, seed=2)
+            except (ServeError, OSError):
+                pass  # the daemon is shutting down under us
+
+        t = threading.Thread(target=slow_request)
+        t.start()
+        time.sleep(0.4)  # request 2 is inside the held compute span
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=30)
+        proc.stdout.close()
+        t.join(timeout=30)
+        assert proc.returncode == 0
+        # every line parses and the file ends with the shutdown trailer
+        lines = [json.loads(s) for s in open(trace).read().splitlines()]
+        assert lines, "trace is empty"
+        assert lines[-1]["type"] == "shutdown"
+        assert any(line["type"] == "request" for line in lines)
